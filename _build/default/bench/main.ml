@@ -1,0 +1,158 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md experiment index), plus bechamel
+   microbenchmarks of the core mechanisms.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig2    # one experiment
+     dune exec bench/main.exe -- micro   # microbenchmarks only *)
+
+module Experiments = Workloads.Experiments
+
+let pr fmt = Fmt.pr fmt
+
+let run_fig2 () = Experiments.pp_degradation
+    ~title:"Figure 2: Degradation Caused by Suppressing Memory Reordering"
+    Fmt.stdout (Experiments.fig2 ())
+
+let run_fig3 () = Experiments.pp_degradation
+    ~title:"Figure 3: Degradation Caused By No Alias Hardware"
+    Fmt.stdout (Experiments.fig3 ())
+
+let run_table1 () = Experiments.pp_table1 Fmt.stdout (Experiments.table1 ())
+
+let run_selfcheck () =
+  Experiments.pp_selfcheck Fmt.stdout (Experiments.selfcheck ())
+
+let run_selfreval () =
+  Experiments.pp_selfreval Fmt.stdout (Experiments.selfreval ())
+
+let run_groups () = Experiments.pp_groups Fmt.stdout (Experiments.groups ())
+
+let run_flow () = Experiments.pp_flow Fmt.stdout (Experiments.flow ())
+
+let run_ablations () =
+  Experiments.pp_sweep ~title:"translate threshold (026.compress)"
+    ~param_name:"threshold" Fmt.stdout
+    (Experiments.threshold_sweep ());
+  Experiments.pp_sweep ~title:"max region size (047.tomcatv)"
+    ~param_name:"insns" Fmt.stdout
+    (Experiments.region_sweep ());
+  Experiments.pp_sweep ~title:"alias slots (026.compress)"
+    ~param_name:"slots" Fmt.stdout
+    (Experiments.alias_slot_sweep ());
+  Experiments.pp_sweep ~title:"chaining on/off (085.gcc)" ~param_name:"on"
+    Fmt.stdout
+    (Experiments.chaining_ablation ());
+  Experiments.pp_sweep ~title:"store buffer capacity (Quattro Pro)"
+    ~param_name:"entries" Fmt.stdout
+    (Experiments.sbuf_sweep ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* commit / rollback cost (the §3.1 "commits are effectively free"
+     claim, here in host-simulator nanoseconds) *)
+  let mem = Machine.Mem.create ~ram_size:(1 lsl 20) () in
+  Machine.Mmu.map_identity mem.Machine.Mem.mmu ~virt:0 ~pages:256
+    ~writable:true;
+  let exec = Vliw.Exec.create mem in
+  let commit_bench =
+    Test.make ~name:"commit"
+      (Staged.stage (fun () -> Vliw.Exec.commit exec))
+  in
+  let rollback_bench =
+    Test.make ~name:"rollback"
+      (Staged.stage (fun () -> Vliw.Exec.rollback exec))
+  in
+  (* decoder throughput on a canned hot-loop byte string *)
+  let listing =
+    X86.Asm.(
+      assemble ~base:0x1000
+        [
+          mov_ri ecx 16;
+          label "l";
+          add_ri eax 3;
+          mov_rm ebx (mbd esi 4);
+          dec_r ecx;
+          jne "l";
+          hlt;
+        ])
+  in
+  let bytes = listing.X86.Asm.image in
+  let fetch a = Char.code (Bytes.get bytes (a - 0x1000)) in
+  let decode_bench =
+    Test.make ~name:"decode-insn"
+      (Staged.stage (fun () -> ignore (X86.Decode.decode ~fetch 0x1000)))
+  in
+  (* whole-pipeline translation of a representative region *)
+  let translate_bench =
+    Test.make ~name:"translate-region"
+      (Staged.stage (fun () ->
+           let c =
+             Cms.create
+               ~cfg:{ Cms.Config.default with Cms.Config.translate_threshold = 1 }
+               ()
+           in
+           Cms.load c listing;
+           Cms.boot c ~entry:0x1000;
+           ignore (Cms.run ~max_insns:500 c)))
+  in
+  Test.make_grouped ~name:"cms"
+    [ commit_bench; rollback_bench; decode_bench; translate_bench ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second 0.5)
+      ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let results = Analyze.all ols (List.hd instances) raw in
+  pr "=== Microbenchmarks (host ns/op; Config's molecule cost model is@.";
+  pr "    the guest analogue of these) ===@.";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> pr "  %-28s %10.1f ns/run@." name est
+      | _ -> pr "  %-28s (no estimate)@." name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  run_fig2 ();
+  run_fig3 ();
+  run_table1 ();
+  run_selfcheck ();
+  run_selfreval ();
+  run_groups ();
+  run_flow ();
+  run_ablations ();
+  run_micro ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "fig2" -> run_fig2 ()
+  | "fig3" -> run_fig3 ()
+  | "table1" -> run_table1 ()
+  | "selfcheck" -> run_selfcheck ()
+  | "selfreval" -> run_selfreval ()
+  | "groups" -> run_groups ()
+  | "flow" -> run_flow ()
+  | "ablations" -> run_ablations ()
+  | "micro" -> run_micro ()
+  | "all" -> all ()
+  | other ->
+      Fmt.epr
+        "unknown experiment %S; one of: fig2 fig3 table1 selfcheck selfreval \
+         groups flow ablations micro all@."
+        other;
+      exit 1

@@ -1,0 +1,104 @@
+(* cmsrun: run a workload from the suite under a configurable CMS.
+
+     dune exec bin/cmsrun.exe -- --list
+     dune exec bin/cmsrun.exe -- -w "Quake Demo2 (DOS)" --no-reorder -v *)
+
+module Suite = Workloads.Suite
+
+let all_workloads () =
+  Workloads.Progs_boot.all @ Workloads.Progs_spec.all
+  @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
+  @ [ Workloads.Progs_quake.blt_driver () ]
+
+let find_workload name =
+  List.find_opt (fun w -> w.Suite.name = name) (all_workloads ())
+
+let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
+    no_groups no_stylized force_selfcheck interp_only threshold max_region
+    verbose =
+  if list_only then begin
+    List.iter (fun w -> Fmt.pr "%s@." w.Suite.name) (all_workloads ());
+    `Ok ()
+  end
+  else
+    match find_workload name with
+    | None ->
+        `Error (false, Fmt.str "unknown workload %S (try --list)" name)
+    | Some w ->
+        let cfg =
+          {
+            Cms.Config.default with
+            Cms.Config.enable_reorder = not no_reorder;
+            enable_alias_hw = not no_alias;
+            enable_fine_grain = not no_fg;
+            enable_chaining = not no_chain;
+            enable_self_reval = not no_reval;
+            enable_groups = not no_groups;
+            enable_stylized = not no_stylized;
+            force_self_check = force_selfcheck;
+            translate_threshold =
+              (if interp_only then max_int else threshold);
+            max_region_insns = max_region;
+          }
+        in
+        let t = Suite.run ~cfg w in
+        let s = Cms.stats t in
+        let p = Cms.perf t in
+        Fmt.pr "workload: %s@." w.Suite.name;
+        Fmt.pr "eax (checksum): %#x@." (Cms.gpr t X86.Regs.eax);
+        Fmt.pr "x86 retired: %d (%d interp / %d translated)@."
+          (Cms.retired t) s.Cms.Stats.x86_interp s.Cms.Stats.x86_translated;
+        Fmt.pr "molecules: %d  (%.2f per x86 insn)@." (Cms.total_molecules t)
+          (Cms.mpi t);
+        if verbose then begin
+          Fmt.pr "stats: %a@." Cms.Stats.pp s;
+          Fmt.pr "perf:  %a@." Vliw.Perf.pp p;
+          let out = Cms.uart_output t in
+          if out <> "" then Fmt.pr "--- serial ---@.%s@." out
+        end;
+        `Ok ()
+
+open Cmdliner
+
+let workload_arg =
+  Arg.(value & opt string "026.compress (Linux)"
+       & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to run.")
+
+let list_only =
+  Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
+
+let flag names doc = Arg.(value & flag & info names ~doc)
+
+let no_reorder = flag [ "no-reorder" ] "Suppress memory reordering (Fig. 2)."
+let no_alias = flag [ "no-alias" ] "Disable the alias hardware (Fig. 3)."
+let no_fg = flag [ "no-fine-grain" ] "Disable fine-grain protection (Table 1)."
+let no_chain = flag [ "no-chaining" ] "Disable translation chaining."
+let no_reval = flag [ "no-self-reval" ] "Disable self-revalidation."
+let no_groups = flag [ "no-groups" ] "Disable translation groups."
+let no_stylized = flag [ "no-stylized" ] "Disable stylized-SMC translations."
+let force_selfcheck =
+  flag [ "force-self-check" ] "Make every translation self-checking."
+let interp_only = flag [ "interp-only" ] "Never translate; pure interpreter."
+
+let threshold =
+  Arg.(value & opt int Cms.Config.default.Cms.Config.translate_threshold
+       & info [ "threshold" ] ~docv:"N"
+           ~doc:"Interpreter executions before translating.")
+
+let max_region =
+  Arg.(value & opt int Cms.Config.default.Cms.Config.max_region_insns
+       & info [ "max-region" ] ~docv:"N" ~doc:"Region size cap (x86 insns).")
+
+let verbose = flag [ "v"; "verbose" ] "Print detailed statistics."
+
+let cmd =
+  let doc = "run a workload on the Code Morphing Software reproduction" in
+  Cmd.v
+    (Cmd.info "cmsrun" ~doc)
+    Term.(
+      ret
+        (const run_cmd $ workload_arg $ list_only $ no_reorder $ no_alias $ no_fg
+       $ no_chain $ no_reval $ no_groups $ no_stylized $ force_selfcheck
+       $ interp_only $ threshold $ max_region $ verbose))
+
+let () = exit (Cmd.eval cmd)

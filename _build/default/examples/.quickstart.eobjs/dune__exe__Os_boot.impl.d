@@ -1,0 +1,1 @@
+examples/os_boot.ml: Cms Fmt Machine Vliw Workloads X86

@@ -1,0 +1,1 @@
+examples/precise_exceptions.ml: Cms Fmt Vliw X86

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cms Fmt List X86

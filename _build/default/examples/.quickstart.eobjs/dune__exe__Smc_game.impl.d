@@ -1,0 +1,1 @@
+examples/smc_game.ml: Cms Fmt Workloads

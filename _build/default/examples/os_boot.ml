@@ -1,0 +1,26 @@
+(* Run a synthetic OS boot — the system-level workload class the paper
+   says application-level DBTs never face: port and memory-mapped I/O,
+   timer interrupts, DMA, mixed code/data pages, driver-style SMC.
+
+     dune exec examples/os_boot.exe *)
+
+let () =
+  let w = Workloads.Progs_boot.win95 in
+  let cms = Workloads.Suite.run ~cfg:Cms.Config.default w in
+  let stats = Cms.stats cms in
+  let perf = Cms.perf cms in
+  Fmt.pr "--- serial console ---@.%s@." (Cms.uart_output cms);
+  Fmt.pr "--- boot summary: %s ---@." w.Workloads.Suite.name;
+  Fmt.pr "checksum (eax): %#x@." (Cms.gpr cms X86.Regs.eax);
+  Fmt.pr "retired: %d interp + %d translated x86 insns@."
+    stats.Cms.Stats.x86_interp stats.Cms.Stats.x86_translated;
+  Fmt.pr "translations: %d (%d retranslations, %d invalidations)@."
+    stats.Cms.Stats.translations stats.Cms.Stats.retranslations
+    stats.Cms.Stats.invalidations;
+  Fmt.pr "interrupts delivered: %d (%d forced a rollback)@."
+    stats.Cms.Stats.irq_delivered stats.Cms.Stats.irq_rollbacks;
+  Fmt.pr "SMC machinery: %d protection events, %d fine-grain installs@."
+    (Cms.mem cms).Machine.Mem.smc_events stats.Cms.Stats.fg_installs;
+  Fmt.pr "host: %d molecules, %d commits, %d rollbacks@."
+    perf.Vliw.Perf.molecules perf.Vliw.Perf.commits perf.Vliw.Perf.rollbacks;
+  Fmt.pr "molecules / x86 insn: %.2f@." (Cms.mpi cms)

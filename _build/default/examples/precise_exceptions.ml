@@ -1,0 +1,47 @@
+(* Precise exceptions under aggressive speculation: a guest #DE handler
+   fixes up a divide-by-zero and resumes, 100 times, while the faulting
+   code runs from optimized translations.  The commit/rollback hardware
+   guarantees the handler sees exactly the x86 state at the faulting
+   instruction's boundary (§3.1, §3.2).
+
+     dune exec examples/precise_exceptions.exe *)
+
+open X86.Asm
+
+let program =
+  assemble ~base:0x10000
+    [
+      (* IDT at 0x1000; vector 0 (#DE) -> handler *)
+      mov_rl eax "de_handler";
+      mov_mr (m 0x1000) eax;
+      mov_mi (m 0x5000) 0x1000;
+      lidt (m 0x5000);
+      mov_ri ebx 0;  (* handler invocation count *)
+      mov_ri esi 100;
+      label "loop";
+      mov_ri eax 84;
+      mov_ri edx 0;
+      mov_ri ecx 0;  (* divide by zero! *)
+      I (X86.Insn.Div (X86.Insn.S32, X86.Insn.R ecx));
+      dec_r esi;
+      jne "loop";
+      hlt;
+      label "de_handler";
+      inc_r ebx;
+      mov_ri ecx 2;  (* fix the divisor; IRET retries the div *)
+      iret;
+    ]
+
+let () =
+  let cms = Cms.create () in
+  Cms.load cms program;
+  Cms.boot cms ~entry:0x10000;
+  (match Cms.run cms with
+  | Cms.Engine.Halted -> ()
+  | _ -> failwith "did not halt");
+  let s = Cms.stats cms in
+  Fmt.pr "handler ran %d times; final quotient eax = %d@."
+    (Cms.gpr cms X86.Regs.ebx) (Cms.gpr cms X86.Regs.eax);
+  Fmt.pr "faults seen by recovery: %d genuine, %d speculative@."
+    s.Cms.Stats.genuine_faults s.Cms.Stats.spec_faults;
+  Fmt.pr "rollbacks: %d@." (Cms.perf cms).Vliw.Perf.rollbacks

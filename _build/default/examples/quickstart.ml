@@ -1,0 +1,38 @@
+(* Quickstart: assemble a small x86 program, run it under CMS, and look
+   at what the system did: interpretation, translation, chaining.
+
+     dune exec examples/quickstart.exe *)
+
+open X86.Asm
+
+let program =
+  assemble ~base:0x10000
+    [
+      (* sum of squares 1..100, the hard way *)
+      mov_ri eax 0;
+      mov_ri ecx 1;
+      label "loop";
+      mov_rr ebx ecx;
+      imul_rr ebx ecx;
+      add_rr eax ebx;
+      inc_r ecx;
+      cmp_ri ecx 101;
+      jne "loop";
+      hlt;
+    ]
+
+let () =
+  let cms = Cms.create () in
+  Cms.load cms program;
+  Cms.boot cms ~entry:0x10000;
+  (match Cms.run cms with
+  | Cms.Engine.Halted -> ()
+  | Cms.Engine.Insn_limit -> failwith "did not halt?");
+  let stats = Cms.stats cms in
+  Fmt.pr "result: eax = %d (expected %d)@." (Cms.gpr cms X86.Regs.eax)
+    (List.fold_left (fun a i -> a + (i * i)) 0 (List.init 100 (fun i -> i + 1)));
+  Fmt.pr "x86 instructions retired: %d interpreted, %d from translations@."
+    stats.Cms.Stats.x86_interp stats.Cms.Stats.x86_translated;
+  Fmt.pr "translations made: %d;  chain patches: %d@."
+    stats.Cms.Stats.translations stats.Cms.Stats.chain_patches;
+  Fmt.pr "molecules per x86 instruction: %.2f@." (Cms.mpi cms)

@@ -1,0 +1,1 @@
+lib/core/cms.ml: Adapt Codegen Config Cpu Engine Interp Ir Lower Machine Opt Policy Profile Region Sched Smc Stats Tcache Vliw

@@ -1,0 +1,1 @@
+lib/core/adapt.ml: Config Hashtbl Policy

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Buffer Bytes Char Config Ir List Lower Machine Opt Option Policy Region Sched Vliw

@@ -1,0 +1,1 @@
+lib/core/cpu.ml: Config Fmt Machine Vliw X86

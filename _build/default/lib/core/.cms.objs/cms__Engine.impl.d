@@ -1,0 +1,1 @@
+lib/core/engine.ml: Adapt Array Codegen Config Cpu Fmt Interp Machine Policy Profile Region Smc Stats Sys Tcache Vliw X86

@@ -1,0 +1,1 @@
+lib/core/interp.ml: Config Cpu Decode Exn Flags Insn Machine Profile Regs Stats X86

@@ -1,0 +1,1 @@
+lib/core/lower.ml: Array Cond Insn Ir List Option Policy Region Regs Vliw X86

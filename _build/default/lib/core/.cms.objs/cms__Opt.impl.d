@@ -1,0 +1,1 @@
+lib/core/opt.ml: Array Hashtbl Int Ir List Set Vliw

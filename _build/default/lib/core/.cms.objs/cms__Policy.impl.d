@@ -1,0 +1,1 @@
+lib/core/policy.ml: Config Fmt Int Set

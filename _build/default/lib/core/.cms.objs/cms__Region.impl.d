@@ -1,0 +1,1 @@
+lib/core/region.ml: Array Hashtbl List Machine Option Policy Profile X86

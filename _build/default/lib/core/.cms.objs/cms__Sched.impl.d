@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array Fmt Hashtbl Ir List Option Queue Vliw

@@ -1,0 +1,1 @@
+lib/core/smc.ml: Adapt Array Bytes Codegen Config Hashtbl Int64 List Machine Option Policy Region Stats Tcache

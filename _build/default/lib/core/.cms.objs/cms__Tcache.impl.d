@@ -1,0 +1,1 @@
+lib/core/tcache.ml: Bytes Hashtbl List Machine Policy Region Vliw

@@ -1,0 +1,50 @@
+(** Per-entry adaptive translation policies.
+
+    Records the conservatism accumulated for each translation entry
+    point.  Upgrades go through {!Policy.merge}, so policies only ever
+    become more conservative — the paper's defence against bouncing
+    between incomparable translations (§3.2).  An entry present in the
+    table is "hot": it was invalidated for adaptation and should be
+    retranslated on next dispatch without climbing the interpreter
+    threshold again. *)
+
+type t = { tbl : (int, Policy.t) Hashtbl.t; cfg : Config.t }
+
+let create cfg = { tbl = Hashtbl.create 64; cfg }
+
+let get t entry =
+  match Hashtbl.find_opt t.tbl entry with
+  | Some p -> p
+  | None -> Policy.default t.cfg
+
+(** Is this entry marked for immediate retranslation? *)
+let hot t entry = Hashtbl.mem t.tbl entry
+
+(** Merge [p] into the entry's policy (monotone). *)
+let upgrade t entry p =
+  Hashtbl.replace t.tbl entry (Policy.merge (get t entry) p)
+
+(** Convenience upgrades. *)
+let add_interp_insn t entry addr =
+  upgrade t entry
+    {
+      (Policy.default t.cfg) with
+      Policy.interp_insns = Policy.ISet.singleton addr;
+    }
+
+let add_stylized t entry addrs =
+  upgrade t entry
+    { (Policy.default t.cfg) with Policy.stylized_imms = addrs }
+
+let set_no_reorder t entry =
+  upgrade t entry { (Policy.default t.cfg) with Policy.no_reorder = true }
+
+let set_self_check t entry =
+  upgrade t entry { (Policy.default t.cfg) with Policy.self_check = true }
+
+let set_self_reval t entry =
+  upgrade t entry { (Policy.default t.cfg) with Policy.self_reval = true }
+
+let cut_region t entry ~current =
+  let target = max 4 (current / 2) in
+  upgrade t entry { (Policy.default t.cfg) with Policy.max_insns = target }

@@ -1,0 +1,262 @@
+(** Code generation: region → scheduled native code.
+
+    Drives lowering, optimization, self-check injection, scheduling and
+    register allocation, and validates the result.  Also builds the
+    special zero-instruction translations (paper §3.2: "a
+    zero-instruction translation that simply calls the interpreter to
+    execute the faulting instruction"). *)
+
+module A = Vliw.Atom
+
+exception Too_big
+(** the region cannot be compiled (register pressure / store buffer);
+    the translator retries with a smaller region *)
+
+(* ------------------------------------------------------------------ *)
+(* Self-checking translations (§3.6.3)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Build IR that verifies the source bytes still match [snapshot],
+   word by word, branching to a self-check-fail stub on mismatch.
+   Placed *before* the entry label so loop iterations skip it.  Words
+   overlapping a stylized immediate field are compared under a mask
+   (those bytes are legitimately volatile, §3.6.4). *)
+let selfcheck_items ir ~(region : Region.t) ~snapshot ~excluded ~fail_label =
+  let items = ref [] in
+  let emit atom =
+    items := Ir.Op { Ir.atom; x86_idx = 0; mem_seq = -1; base_ver = 0; barrier = false; base_abs = None } :: !items
+  in
+  let snap_pos = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      let base = Ir.fresh_vreg ir in
+      emit (A.MovI { rd = base; imm = lo });
+      let addr = ref lo in
+      while !addr < hi do
+        let n = min 4 (hi - !addr) in
+        (* expected word from the snapshot, little-endian *)
+        let expect = ref 0 in
+        for k = 0 to n - 1 do
+          expect :=
+            !expect lor (Char.code (Bytes.get snapshot (!snap_pos + k)) lsl (8 * k))
+        done;
+        (* mask out excluded (stylized-immediate) bytes *)
+        let mask = ref (if n = 4 then 0xffffffff else (1 lsl (8 * n)) - 1) in
+        for k = 0 to n - 1 do
+          let a = !addr + k in
+          if List.exists (fun (elo, ehi) -> a >= elo && a < ehi) excluded then
+            mask := !mask land lnot (0xff lsl (8 * k))
+        done;
+        if !mask <> 0 then begin
+          let t = Ir.fresh_vreg ir in
+          emit
+            (A.Load
+               { rd = t; base; disp = !addr - lo; size = 4; spec = false;
+                 protect = None; check = 0 });
+          let v =
+            if !mask = 0xffffffff then t
+            else begin
+              let t2 = Ir.fresh_vreg ir in
+              emit (A.Alu { op = A.HAnd; rd = t2; a = t; b = A.I !mask });
+              t2
+            end
+          in
+          emit
+            (A.BrCmp
+               { cmp = A.Cne; a = v; b = A.I (!expect land !mask);
+                 target = fail_label })
+        end;
+        snap_pos := !snap_pos + n;
+        addr := !addr + n
+      done)
+    region.Region.src_ranges;
+  List.rev !items
+
+(* The fail stub: nothing has committed; just exit with the
+   self-check-fail kind and let the SMC machinery sort it out. *)
+let selfcheck_fail_stub ir ~entry ~fail_label =
+  let exit_idx =
+    Ir.add_exit ir ~target:(Vliw.Code.Const entry)
+      ~kind:Vliw.Code.Eselfcheck_fail ~x86_retired:0
+  in
+  [
+    Ir.Lbl fail_label;
+    Ir.Op
+      {
+        Ir.atom = A.MovI { rd = Vliw.Abi.eip; imm = entry };
+        x86_idx = 0;
+        mem_seq = -1;
+        base_ver = 0;
+        barrier = false;
+        base_abs = None;
+      };
+    Ir.Op
+      { Ir.atom = A.Commit 0; x86_idx = 0; mem_seq = -1; base_ver = 0; barrier = false; base_abs = None };
+    Ir.Op { Ir.atom = A.Exit exit_idx; x86_idx = 0; mem_seq = -1; base_ver = 0; barrier = false; base_abs = None };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Full compilation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  code : Vliw.Code.t;
+  snapshot : Bytes.t option;
+  opt_stats : Opt.result;
+  unprotected : bool;
+      (** self-checking translation whose source ranges are guarded by
+          the alias hardware: it runs with page protection off
+          (§3.6.3); [false] means protection is still required *)
+}
+
+(* Concatenate the source bytes of all ranges, in range order. *)
+let take_snapshot mem (region : Region.t) =
+  let total = Region.src_bytes region in
+  let b = Buffer.create total in
+  List.iter
+    (fun (lo, hi) ->
+      Buffer.add_bytes b (Machine.Mem.read_code mem ~addr:lo ~len:(hi - lo)))
+    region.Region.src_ranges;
+  Buffer.to_bytes b
+
+(** Compile a region under [policy].  [cfg] supplies hardware knobs. *)
+let compile ~(cfg : Config.t) ~(policy : Policy.t) ~mem (region : Region.t) =
+  let ir = Lower.lower ~policy region in
+  let items = Ir.items ir in
+  let opt_stats = Opt.run ir items in
+  let items = opt_stats.Opt.items in
+  (* self-check / snapshot *)
+  let want_snapshot =
+    policy.Policy.self_check || policy.Policy.self_reval
+    || not (Policy.ISet.is_empty policy.Policy.stylized_imms)
+  in
+  let snapshot = if want_snapshot then Some (take_snapshot mem region) else None in
+  let items =
+    if policy.Policy.self_check then begin
+      let snapshot = Option.get snapshot in
+      let fail_label = Ir.fresh_label ir in
+      let excluded =
+        Array.to_list region.Region.insns
+        |> List.filter_map (fun (i : Region.insn_info) ->
+               if Policy.ISet.mem i.Region.addr policy.Policy.stylized_imms
+               then
+                 Option.map (fun a -> (a, a + 4)) i.Region.imm32_addr
+               else None)
+      in
+      selfcheck_items ir ~region ~snapshot ~excluded ~fail_label
+      @ items
+      @ selfcheck_fail_stub ir ~entry:region.Region.entry ~fail_label
+    end
+    else items
+  in
+  (* Self-checking translations run with page protection off; their
+     own stores are checked against the source byte ranges through the
+     alias hardware (§3.6.3).  The arming atoms sit just after the
+     entry label so loop back-edges (whose commits clear the alias
+     slots) re-arm them every iteration. *)
+  let page_segments =
+    List.concat_map
+      (fun (lo, hi) ->
+        let rec split lo acc =
+          if lo >= hi then List.rev acc
+          else
+            let seg = min (hi - lo) (Machine.Mem.page_room lo) in
+            split (lo + seg) ((lo, seg) :: acc)
+        in
+        split lo [])
+      region.Region.src_ranges
+  in
+  let max_guard_slots = 4 in
+  let use_guards =
+    policy.Policy.self_check
+    && cfg.Config.enable_alias_hw
+    && List.length page_segments <= max_guard_slots
+    && cfg.Config.alias_slots > max_guard_slots
+  in
+  let items =
+    if not use_guards then items
+    else
+      let mkop atom =
+        Ir.Op
+          { Ir.atom; x86_idx = 0; mem_seq = -1; base_ver = 0; barrier = false;
+            base_abs = None }
+      in
+      let arms =
+        List.concat
+          (List.mapi
+             (fun k (lo, len) ->
+               let t = Ir.fresh_vreg ir in
+               [
+                 mkop (A.MovI { rd = t; imm = lo });
+                 mkop
+                   (A.ArmRange
+                      { slot = cfg.Config.alias_slots - 1 - k; base = t;
+                        disp = 0; len });
+               ])
+             page_segments)
+      in
+      (* insert after the entry label so loops re-arm per iteration *)
+      let rec insert = function
+        | (Ir.Lbl _ as l) :: rest -> l :: (arms @ rest)
+        | op :: rest -> op :: insert rest
+        | [] -> arms
+      in
+      insert items
+  in
+  let guard_mask =
+    if not use_guards then 0
+    else
+      List.fold_left ( lor ) 0
+        (List.mapi
+           (fun k _ -> 1 lsl (cfg.Config.alias_slots - 1 - k))
+           page_segments)
+  in
+  let opts =
+    {
+      Sched.reorder = cfg.Config.enable_reorder && not policy.Policy.no_reorder;
+      use_alias = cfg.Config.enable_alias_hw && not policy.Policy.no_alias;
+      alias_slots =
+        (if use_guards then cfg.Config.alias_slots - max_guard_slots
+         else cfg.Config.alias_slots);
+    }
+  in
+  let molecules = Sched.schedule ~opts items in
+  (* every store also checks the source-range guards *)
+  if guard_mask <> 0 then
+    Array.iter
+      (fun m ->
+        Array.iteri
+          (fun k a ->
+            match a with
+            | A.Store st -> m.(k) <- A.Store { st with check = st.check lor guard_mask }
+            | _ -> ())
+          m)
+      molecules;
+  (match Sched.regalloc molecules with
+  | () -> ()
+  | exception Sched.Regalloc_overflow -> raise Too_big);
+  let code = { Vliw.Code.molecules; exits = Ir.exits ir } in
+  (match Vliw.Code.validate code with
+  | Ok () -> ()
+  | Error e -> failwith ("Codegen: invalid code: " ^ e));
+  { code; snapshot; opt_stats; unprotected = use_guards }
+
+(** A zero-instruction translation: interpret one instruction at
+    [entry], then continue dispatch. *)
+let zero_insn_code ~entry =
+  {
+    Vliw.Code.molecules =
+      [|
+        [| A.MovI { rd = Vliw.Abi.eip; imm = entry } |];
+        [| A.Commit 0; A.Exit 0 |];
+      |];
+    exits =
+      [|
+        {
+          Vliw.Code.target = Vliw.Code.Const entry;
+          kind = Vliw.Code.Einterp_one;
+          x86_retired = 0;
+          chain = Vliw.Code.NoChain;
+        };
+      |];
+  }

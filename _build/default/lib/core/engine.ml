@@ -1,0 +1,363 @@
+(** The CMS runtime: the control loop of the paper's Figure 1.
+
+    Interpret until hot → translate → execute from the translation
+    cache with chaining; on a native fault, roll back to the committed
+    x86 state, re-execute the region in the interpreter to decide
+    whether the fault was genuine (deliver it) or speculative (count it
+    and, past a threshold, retranslate more conservatively); deliver
+    external interrupts only at consistent boundaries, rolling back a
+    translation the interrupt arrived in (§3.2, §3.3). *)
+
+type t = {
+  cfg : Config.t;
+  plat : Machine.Platform.t;
+  cpu : Cpu.t;
+  interp : Interp.t;
+  profile : Profile.t;
+  stats : Stats.t;
+  tcache : Tcache.t;
+  smc : Smc.t;
+  adapt : Adapt.t;
+  mutable ticked : int;  (** molecules already reported to the bus *)
+  mutable irq_sample : int;  (** divider for in-translation IRQ polls *)
+}
+
+let create ?(cfg = Config.default) plat =
+  let cpu = Cpu.create plat ~cfg in
+  let stats = Stats.create () in
+  let profile = Profile.create () in
+  let interp = Interp.create cpu ~profile ~stats ~cfg in
+  let tcache = Tcache.create ~capacity:cfg.Config.tcache_capacity in
+  let adapt = Adapt.create cfg in
+  let mem = plat.Machine.Platform.mem in
+  mem.Machine.Mem.fg_enabled <- cfg.Config.enable_fine_grain;
+  let smc = Smc.create ~cfg ~mem ~tcache ~adapt ~stats in
+  let t =
+    { cfg; plat; cpu; interp; profile; stats; tcache; smc; adapt;
+      ticked = 0; irq_sample = 0 }
+  in
+  mem.Machine.Mem.on_smc <- (fun hit ~paddr ~len -> Smc.on_write smc hit ~paddr ~len);
+  mem.Machine.Mem.on_dma_smc <- (fun ~ppn -> Smc.on_dma smc ~ppn);
+  t
+
+let perf t = t.cpu.Cpu.exec.Vliw.Exec.perf
+
+(** Total molecules so far (host-executed + cost model). *)
+let total_molecules t = Stats.total_molecules t.stats (perf t)
+
+let retired t = t.stats.Stats.x86_interp + (perf t).Vliw.Perf.x86_committed
+
+(* Advance device time to match consumed molecules. *)
+let tick_devices t =
+  let now = total_molecules t in
+  if now > t.ticked then begin
+    Machine.Bus.tick (Cpu.bus t.cpu) (now - t.ticked);
+    t.ticked <- now
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Translator driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let insert_zero_insn t entry =
+  let region =
+    { Region.entry; insns = [||]; cont = None; src_ranges = [] }
+  in
+  let tr =
+    Tcache.insert t.tcache ~entry ~code:(Codegen.zero_insn_code ~entry)
+      ~region ~policy:(Adapt.get t.adapt entry) ~snapshot:None
+  in
+  t.stats.Stats.translations <- t.stats.Stats.translations + 1;
+  tr
+
+(** Translate the region at [entry] under its adaptive policy. *)
+let translate t entry =
+  let mem = Cpu.mem t.cpu in
+  let rec attempt policy =
+    match Region.select ~mem ~profile:t.profile ~policy entry with
+    | None -> insert_zero_insn t entry
+    | Some region -> (
+        (* translation groups (§3.6.5): if a parked translation of this
+           region matches the current code bytes, reactivate it instead
+           of retranslating *)
+        match
+          if t.cfg.Config.enable_groups && Tcache.group_size t.tcache ~entry > 0
+          then
+            Tcache.group_match t.tcache ~entry
+              ~current_bytes:(Codegen.take_snapshot mem region)
+          else None
+        with
+        | Some tr ->
+            t.stats.Stats.group_hits <- t.stats.Stats.group_hits + 1;
+            Smc.register t.smc tr;
+            tr
+        | None ->
+        match Codegen.compile ~cfg:t.cfg ~policy ~mem region with
+        | { Codegen.code; snapshot; unprotected; _ } ->
+            let n = Region.instruction_count region in
+            Stats.charge t.stats (n * t.cfg.Config.translate_cost);
+            t.stats.Stats.translations <- t.stats.Stats.translations + 1;
+            if Adapt.hot t.adapt entry then
+              t.stats.Stats.retranslations <- t.stats.Stats.retranslations + 1;
+            t.stats.Stats.insns_translated <- t.stats.Stats.insns_translated + n;
+            t.stats.Stats.translated_atoms <-
+              t.stats.Stats.translated_atoms + Vliw.Code.atom_count code;
+            let tr =
+              Tcache.insert ~unprotected t.tcache ~entry ~code ~region ~policy
+                ~snapshot
+            in
+            Smc.register t.smc tr;
+            Profile.reset_count t.profile entry;
+            tr
+        | exception Codegen.Too_big ->
+            if policy.Policy.max_insns <= 4 then insert_zero_insn t entry
+            else begin
+              let p =
+                { policy with Policy.max_insns = policy.Policy.max_insns / 2 }
+              in
+              Adapt.upgrade t.adapt entry p;
+              attempt p
+            end)
+  in
+  attempt (Adapt.get t.adapt entry)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (§3.2)                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Interpret the region's instructions from the committed state.
+   Returns the first genuine fault, if any.  Stops when control leaves
+   the region's source ranges, after one region's worth of
+   instructions, or at a HLT. *)
+let replay_region t (tr : Tcache.trans) =
+  let budget = max 1 (Region.instruction_count tr.Tcache.region) in
+  let rec go k =
+    if k >= budget then None
+    else if not (Region.contains tr.Tcache.region (Cpu.committed_eip t.cpu))
+    then None
+    else begin
+      let pc = Cpu.committed_eip t.cpu in
+      match Interp.step t.interp with
+      | Interp.Stepped -> go (k + 1)
+      | Interp.Halted -> None
+      | Interp.Faulted f -> Some (f, pc)
+    end
+  in
+  go 0
+
+(* The paper's CMS "monitors recurring failures and generates a more
+   conservative translation when it deems the rate of failure to be
+   excessive": a handful of faults across many executions is cheaper to
+   absorb through rollback+interpret than to pessimize the translation
+   for.  Escalate only past an absolute floor AND a rate threshold. *)
+let excessive t ~faults ~execs =
+  faults >= t.cfg.Config.spec_fault_limit && faults * 64 >= execs
+
+(* Escalate a speculative-fault class: first cut the region, then stop
+   reordering (paper §3.2 / §3.5). *)
+let escalate_spec t (tr : Tcache.trans) =
+  let entry = tr.Tcache.entry in
+  let n = Region.instruction_count tr.Tcache.region in
+  if n > 8 then Adapt.cut_region t.adapt entry ~current:n
+  else Adapt.set_no_reorder t.adapt entry;
+  Smc.invalidate t.smc tr ~keep_in_group:false
+
+(** Handle a native fault from a translation.  The engine has already
+    rolled back; this decides genuine vs speculative and adapts. *)
+let recover t (tr : Tcache.trans) (n : Vliw.Nexn.t) =
+  t.stats.Stats.fault_entries <- t.stats.Stats.fault_entries + 1;
+  Stats.charge t.stats t.cfg.Config.fault_handler_cost;
+  match n with
+  | Vliw.Nexn.Smc (_, _) ->
+      (* replaying in the interpreter routes the write through the SMC
+         handler, which updates protection state (and may invalidate
+         this very translation) *)
+      ignore (replay_region t tr)
+  | Vliw.Nexn.Mmio_spec _ ->
+      (* the replay lets the interpreter profile which instruction does
+         MMIO; recurring faults retranslate with those instructions
+         carved out as interpreter exits (§3.4) *)
+      tr.Tcache.spec_faults <- tr.Tcache.spec_faults + 1;
+      t.stats.Stats.spec_faults <- t.stats.Stats.spec_faults + 1;
+      ignore (replay_region t tr);
+      if excessive t ~faults:tr.Tcache.spec_faults ~execs:tr.Tcache.execs
+      then begin
+        Array.iter
+          (fun (i : Region.insn_info) ->
+            if Profile.is_mmio_insn t.profile i.Region.addr then
+              Adapt.add_interp_insn t.adapt tr.Tcache.entry i.Region.addr)
+          tr.Tcache.region.Region.insns;
+        Smc.invalidate t.smc tr ~keep_in_group:false
+      end
+  | Vliw.Nexn.Alias_violation _ ->
+      if Sys.getenv_opt "CMS_DEBUG_FAULTS" <> None then begin
+        Fmt.epr "[alias fault] entry=%#x execs=%d spec=%d insns=%d@."
+          tr.Tcache.entry tr.Tcache.execs tr.Tcache.spec_faults
+          (Region.instruction_count tr.Tcache.region);
+        if tr.Tcache.execs <= 1 then begin
+          Array.iteri
+            (fun i (info : Region.insn_info) ->
+              Fmt.epr "  x86[%d] %#x: %s@." i info.Region.addr
+                (X86.Insn.to_string info.Region.insn))
+            tr.Tcache.region.Region.insns;
+          Fmt.epr "%a@." Vliw.Code.pp tr.Tcache.code
+        end
+      end;
+      tr.Tcache.spec_faults <- tr.Tcache.spec_faults + 1;
+      t.stats.Stats.spec_faults <- t.stats.Stats.spec_faults + 1;
+      ignore (replay_region t tr);
+      if excessive t ~faults:tr.Tcache.spec_faults ~execs:tr.Tcache.execs then
+        escalate_spec t tr
+  | Vliw.Nexn.Sbuf_overflow ->
+      t.stats.Stats.spec_faults <- t.stats.Stats.spec_faults + 1;
+      ignore (replay_region t tr);
+      escalate_spec t tr
+  | Vliw.Nexn.X86_fault _ -> (
+      match replay_region t tr with
+      | Some (_, pc) ->
+          (* genuine: the interpreter delivered it precisely.  Recurring
+             genuine faults narrow the translation around the faulting
+             instruction, ultimately to a zero-instruction translation. *)
+          tr.Tcache.genuine_faults <- tr.Tcache.genuine_faults + 1;
+          t.stats.Stats.genuine_faults <- t.stats.Stats.genuine_faults + 1;
+          if
+            tr.Tcache.genuine_faults >= t.cfg.Config.genuine_fault_limit
+            && tr.Tcache.genuine_faults * 64 >= tr.Tcache.execs
+          then begin
+            (* carve out the faulting instruction: its neighbours stay
+               large and optimized; it becomes a zero-instruction
+               translation *)
+            Adapt.add_interp_insn t.adapt tr.Tcache.entry pc;
+            Smc.invalidate t.smc tr ~keep_in_group:false
+          end
+      | None ->
+          (* speculative: a hoisted access faulted on a path the real
+             program never takes *)
+          tr.Tcache.spec_faults <- tr.Tcache.spec_faults + 1;
+          t.stats.Stats.spec_faults <- t.stats.Stats.spec_faults + 1;
+          if excessive t ~faults:tr.Tcache.spec_faults ~execs:tr.Tcache.execs
+          then escalate_spec t tr)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let deliver_irq t =
+  match Machine.Irq.ack t.plat.Machine.Platform.irq with
+  | Some vector ->
+      t.stats.Stats.irq_delivered <- t.stats.Stats.irq_delivered + 1;
+      Cpu.deliver t.cpu ~vector ~error_code:None
+  | None -> ()
+
+(* Sampled interrupt-pending check used while a translation runs: also
+   advances device time so timers can fire mid-translation. *)
+let irq_pending_poll t () =
+  t.irq_sample <- t.irq_sample + 1;
+  if t.irq_sample land 15 = 0 then tick_devices t;
+  Cpu.irq_deliverable t.cpu
+
+let run_translation t (tr : Tcache.trans) =
+  (* self-revalidation prologue *)
+  if tr.Tcache.reval_armed then
+    if not (Smc.revalidate t.smc tr) then begin
+      (* code really changed behind the disarmed protection *)
+      Smc.on_selfcheck_fail t.smc tr;
+      ()
+    end;
+  if tr.Tcache.valid then begin
+    tr.Tcache.execs <- tr.Tcache.execs + 1;
+    match Vliw.Exec.run ~irq_pending:(irq_pending_poll t) t.cpu.Cpu.exec tr.Tcache.code with
+    | Vliw.Exec.Exited i -> (
+        let e = tr.Tcache.code.Vliw.Code.exits.(i) in
+        match e.Vliw.Code.kind with
+        | Vliw.Code.Enext -> (
+            (* chaining (§2): patch the exit to its target translation *)
+            match e.Vliw.Code.chain with
+            | Vliw.Code.Chained id when Tcache.by_id t.tcache id <> None -> ()
+            | _ -> (
+                t.stats.Stats.lookups <- t.stats.Stats.lookups + 1;
+                Stats.charge t.stats t.cfg.Config.lookup_cost;
+                match e.Vliw.Code.target with
+                | Vliw.Code.Const target when t.cfg.Config.enable_chaining -> (
+                    match Tcache.lookup t.tcache target with
+                    | Some t2 ->
+                        e.Vliw.Code.chain <- Vliw.Code.Chained t2.Tcache.id;
+                        t.stats.Stats.chain_patches <-
+                          t.stats.Stats.chain_patches + 1
+                    | None -> ())
+                | _ -> ()))
+        | Vliw.Code.Einterp_one -> ignore (Interp.step t.interp)
+        | Vliw.Code.Eselfcheck_fail -> Smc.on_selfcheck_fail t.smc tr)
+    | Vliw.Exec.Faulted n ->
+        Stats.charge t.stats t.cfg.Config.rollback_cost;
+        Vliw.Exec.rollback t.cpu.Cpu.exec;
+        recover t tr n
+    | Vliw.Exec.Interrupted ->
+        (* roll back to the consistent boundary unless already there *)
+        if
+          not
+            (Vliw.Regfile.consistent t.cpu.Cpu.exec.Vliw.Exec.regs
+            && Vliw.Storebuf.is_empty t.cpu.Cpu.exec.Vliw.Exec.sbuf)
+        then begin
+          Stats.charge t.stats t.cfg.Config.rollback_cost;
+          Vliw.Exec.rollback t.cpu.Cpu.exec;
+          t.stats.Stats.irq_rollbacks <- t.stats.Stats.irq_rollbacks + 1
+        end;
+        deliver_irq t
+    | Vliw.Exec.Runaway ->
+        raise (Cpu.Panic "translation exceeded molecule budget")
+  end
+
+(* Can any device still wake a halted CPU? *)
+let wakeup_possible t =
+  t.plat.Machine.Platform.timer.Machine.Timer.period > 0
+  || t.plat.Machine.Platform.disk.Machine.Disk.busy > 0
+
+type stop = Halted | Insn_limit
+
+(** Run until the guest halts with no wakeup source, or [max_insns]
+    x86 instructions have retired. *)
+let run ?(max_insns = max_int) t =
+  let continue_ = ref true in
+  let result = ref Halted in
+  while !continue_ do
+    tick_devices t;
+    if retired t >= max_insns then begin
+      result := Insn_limit;
+      continue_ := false
+    end
+    else if t.cpu.Cpu.halted then begin
+      if Cpu.irq_deliverable t.cpu then deliver_irq t
+      else if wakeup_possible t then begin
+        (* idle: advance time until something fires *)
+        Stats.charge t.stats 256;
+        tick_devices t
+      end
+      else begin
+        result := Halted;
+        continue_ := false
+      end
+    end
+    else if Cpu.irq_deliverable t.cpu then deliver_irq t
+    else begin
+      let eip = Cpu.committed_eip t.cpu in
+      match Tcache.lookup t.tcache eip with
+      | Some tr -> run_translation t tr
+      | None ->
+          if
+            Adapt.hot t.adapt eip
+            || Profile.count t.profile eip >= t.cfg.Config.translate_threshold
+          then begin
+            let tr = translate t eip in
+            run_translation t tr
+          end
+          else ignore (Interp.step t.interp)
+    end
+  done;
+  t.stats.Stats.x86_translated <- (perf t).Vliw.Perf.x86_committed;
+  !result
+
+(** Headline metric: molecules per retired x86 instruction. *)
+let mpi t =
+  let r = retired t in
+  if r = 0 then 0.0 else float_of_int (total_molecules t) /. float_of_int r

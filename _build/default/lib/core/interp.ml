@@ -1,0 +1,393 @@
+(** The x86 interpreter.
+
+    Decodes and executes one instruction at a time "with careful
+    attention to memory access ordering and precise reproduction of
+    faults, while collecting data on execution frequency, branch
+    directions, and memory-mapped I/O operations" (paper §2).
+
+    It is also the recovery mechanism: after a translation rolls back,
+    CMS re-executes the region here in original program order, which
+    both decides whether a fault was genuine and guarantees forward
+    progress (paper §3.2).
+
+    Precision argument: each instruction mutates only the working
+    register copies until its final commit; memory writes are ordered
+    after every fault point of the instruction.  A fault therefore rolls
+    back to the exact x86 state at the instruction boundary. *)
+
+open X86
+module F = Flags
+
+type t = {
+  cpu : Cpu.t;
+  profile : Profile.t;
+  stats : Stats.t;
+  cfg : Config.t;
+}
+
+let create cpu ~profile ~stats ~cfg = { cpu; profile; stats; cfg }
+
+type outcome =
+  | Stepped  (** one instruction retired *)
+  | Halted  (** CPU is halted; nothing executed *)
+  | Faulted of Exn.fault  (** instruction faulted; fault was delivered *)
+
+(* ------------------------------------------------------------------ *)
+(* Operand access                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mask32 v = v land 0xffffffff
+
+let ea cpu (m : Insn.mem) =
+  let b = match m.base with Some r -> Cpu.gpr cpu r | None -> 0 in
+  let i =
+    match m.index with Some (r, s) -> Cpu.gpr cpu r * s | None -> 0
+  in
+  mask32 (b + i + m.disp)
+
+let mem_read cpu ~size addr = Machine.Mem.read (Cpu.mem cpu) ~size addr
+let mem_write cpu ~size addr v = Machine.Mem.write (Cpu.mem cpu) ~size addr v
+
+let read_r8 cpu r = Regs.read8 ~read32:(Cpu.gpr cpu) r
+
+let write_r8 cpu r v =
+  let g, nv = Regs.write8 ~read32:(Cpu.gpr cpu) r v in
+  Cpu.set_gpr cpu g nv
+
+let read_rm cpu sz (rm : Insn.rm) =
+  match (sz, rm) with
+  | Insn.S32, Insn.R r -> Cpu.gpr cpu r
+  | Insn.S8, Insn.R r -> read_r8 cpu r
+  | Insn.S32, Insn.M m -> mem_read cpu ~size:4 (ea cpu m)
+  | Insn.S8, Insn.M m -> mem_read cpu ~size:1 (ea cpu m)
+
+let write_rm cpu sz (rm : Insn.rm) v =
+  match (sz, rm) with
+  | Insn.S32, Insn.R r -> Cpu.set_gpr cpu r v
+  | Insn.S8, Insn.R r -> write_r8 cpu r v
+  | Insn.S32, Insn.M m -> mem_write cpu ~size:4 (ea cpu m) v
+  | Insn.S8, Insn.M m -> mem_write cpu ~size:1 (ea cpu m) v
+
+let read_reg cpu sz r =
+  match sz with Insn.S32 -> Cpu.gpr cpu r | Insn.S8 -> read_r8 cpu r
+
+let write_reg cpu sz r v =
+  match sz with Insn.S32 -> Cpu.set_gpr cpu r v | Insn.S8 -> write_r8 cpu r v
+
+let push32 cpu v =
+  let esp = mask32 (Cpu.gpr cpu Regs.esp - 4) in
+  mem_write cpu ~size:4 esp v;
+  Cpu.set_gpr cpu Regs.esp esp
+
+let pop32 cpu =
+  let esp = Cpu.gpr cpu Regs.esp in
+  let v = mem_read cpu ~size:4 esp in
+  Cpu.set_gpr cpu Regs.esp (mask32 (esp + 4));
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Instruction semantics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let arith_f : Insn.arith -> (F.size -> F.t -> int -> int -> int * F.t) =
+  function
+  | Insn.Add -> F.add
+  | Or -> F.or_
+  | Adc -> F.adc
+  | Sbb -> F.sbb
+  | And -> F.and_
+  | Sub -> F.sub
+  | Xor -> F.xor
+  | Cmp -> fun sz fl a b -> (a, F.cmp sz fl a b)
+  (* Cmp: result discarded via writes_result below *)
+
+let arith_writes_result = function Insn.Cmp -> false | _ -> true
+
+let shift_f : Insn.shift -> (F.size -> F.t -> int -> int -> int * F.t) =
+  function
+  | Insn.Shl -> F.shl
+  | Shr -> F.shr
+  | Sar -> F.sar
+  | Rol -> F.rol
+  | Ror -> F.ror
+
+(* Execute the REP-able string ops.  Each iteration is an architectural
+   boundary: registers are updated per iteration and the whole
+   instruction can pause with EIP still pointing at itself, which is how
+   x86 makes REP interruptible. *)
+let exec_strop t pc ~next ~rep ~op ~size =
+  let cpu = t.cpu in
+  let bytes = match size with Insn.S8 -> 1 | S32 -> 4 in
+  let one () =
+    (match op with
+    | Insn.Movs ->
+        let v = mem_read cpu ~size:bytes (Cpu.gpr cpu Regs.esi) in
+        mem_write cpu ~size:bytes (Cpu.gpr cpu Regs.edi) v;
+        Cpu.set_gpr cpu Regs.esi (mask32 (Cpu.gpr cpu Regs.esi + bytes))
+    | Insn.Stos ->
+        let v =
+          match size with
+          | Insn.S8 -> read_r8 cpu 0 (* AL *)
+          | S32 -> Cpu.gpr cpu Regs.eax
+        in
+        mem_write cpu ~size:bytes (Cpu.gpr cpu Regs.edi) v);
+    Cpu.set_gpr cpu Regs.edi (mask32 (Cpu.gpr cpu Regs.edi + bytes))
+  in
+  if not rep then one ()
+  else begin
+    (* Each completed iteration commits with EIP still on the REP
+       instruction, so a fault in iteration k resumes at iteration k
+       after the handler IRETs — x86's restartable-REP semantics. *)
+    let iters = ref 0 in
+    let continue_ = ref (Cpu.gpr cpu Regs.ecx <> 0) in
+    while !continue_ do
+      one ();
+      Cpu.set_gpr cpu Regs.ecx (mask32 (Cpu.gpr cpu Regs.ecx - 1));
+      incr iters;
+      (* charge per-iteration interpretation cost beyond the base *)
+      Stats.charge t.stats 3;
+      if Cpu.gpr cpu Regs.ecx = 0 then begin
+        continue_ := false;
+        Cpu.set_eip cpu next
+      end
+      else begin
+        Cpu.set_eip cpu pc;
+        Cpu.commit cpu;
+        if !iters land 63 = 0 && Cpu.irq_deliverable cpu then
+          (* pause: EIP stays on the REP instruction; resume after IRQ *)
+          continue_ := false
+      end
+    done
+  end
+
+let exec_insn t pc (f : Decode.fetched) =
+  let cpu = t.cpu in
+  let fl () = Cpu.eflags cpu in
+  let set_fl v = Cpu.set_eflags cpu v in
+  match f.Decode.insn with
+  | Insn.Arith (op, sz, ops) -> (
+      let g = arith_f op in
+      match ops with
+      | Insn.RM_R (rm, r) ->
+          let a = read_rm cpu sz rm and b = read_reg cpu sz r in
+          let res, nf = g sz (fl ()) a b in
+          if arith_writes_result op then write_rm cpu sz rm res;
+          set_fl nf
+      | Insn.R_RM (r, rm) ->
+          let a = read_reg cpu sz r and b = read_rm cpu sz rm in
+          let res, nf = g sz (fl ()) a b in
+          if arith_writes_result op then write_reg cpu sz r res;
+          set_fl nf
+      | Insn.RM_I (rm, i) ->
+          let a = read_rm cpu sz rm in
+          let res, nf = g sz (fl ()) a i in
+          if arith_writes_result op then write_rm cpu sz rm res;
+          set_fl nf)
+  | Insn.Test (sz, rm, src) ->
+      let a = read_rm cpu sz rm in
+      let b =
+        match src with Insn.T_R r -> read_reg cpu sz r | Insn.T_I i -> i
+      in
+      set_fl (F.test sz (fl ()) a b)
+  | Insn.Mov (sz, ops) -> (
+      match ops with
+      | Insn.RM_R (rm, r) -> write_rm cpu sz rm (read_reg cpu sz r)
+      | Insn.R_RM (r, rm) -> write_reg cpu sz r (read_rm cpu sz rm)
+      | Insn.RM_I (rm, i) -> write_rm cpu sz rm i)
+  | Insn.Movx { sign; dst; src } ->
+      let v = read_rm cpu Insn.S8 src in
+      let v = if sign then F.sext Insn.S8 v land 0xffffffff else v in
+      Cpu.set_gpr cpu dst v
+  | Insn.Lea (r, m) -> Cpu.set_gpr cpu r (ea cpu m)
+  | Insn.Xchg (sz, rm, r) ->
+      let a = read_rm cpu sz rm and b = read_reg cpu sz r in
+      write_rm cpu sz rm b;
+      write_reg cpu sz r a
+  | Insn.Inc (sz, rm) ->
+      let v, nf = F.inc sz (fl ()) (read_rm cpu sz rm) in
+      write_rm cpu sz rm v;
+      set_fl nf
+  | Insn.Dec (sz, rm) ->
+      let v, nf = F.dec sz (fl ()) (read_rm cpu sz rm) in
+      write_rm cpu sz rm v;
+      set_fl nf
+  | Insn.Not (sz, rm) ->
+      write_rm cpu sz rm (F.trunc sz (lnot (read_rm cpu sz rm)))
+  | Insn.Neg (sz, rm) ->
+      let v, nf = F.neg sz (fl ()) (read_rm cpu sz rm) in
+      write_rm cpu sz rm v;
+      set_fl nf
+  | Insn.Shift (op, sz, rm, count) ->
+      let c =
+        match count with
+        | Insn.C1 -> 1
+        | Insn.Cimm i -> i
+        | Insn.Ccl -> Cpu.gpr cpu Regs.ecx land 0xff
+      in
+      let v, nf = (shift_f op) sz (fl ()) (read_rm cpu sz rm) c in
+      write_rm cpu sz rm v;
+      set_fl nf
+  | Insn.Mul (sz, rm) | Insn.Imul1 (sz, rm) -> (
+      let signed = match f.Decode.insn with Insn.Imul1 _ -> true | _ -> false in
+      let g = if signed then F.imul else F.mul in
+      match sz with
+      | Insn.S8 ->
+          let lo, hi, nf = g Insn.S8 (fl ()) (read_r8 cpu 0) (read_rm cpu Insn.S8 rm) in
+          (* AX = AH:AL <- result *)
+          write_r8 cpu 0 lo;
+          write_r8 cpu 4 hi;
+          set_fl nf
+      | Insn.S32 ->
+          let lo, hi, nf =
+            g Insn.S32 (fl ()) (Cpu.gpr cpu Regs.eax) (read_rm cpu Insn.S32 rm)
+          in
+          Cpu.set_gpr cpu Regs.eax lo;
+          Cpu.set_gpr cpu Regs.edx hi;
+          set_fl nf)
+  | Insn.Imul2 (r, rm) ->
+      let lo, _, nf =
+        F.imul Insn.S32 (fl ()) (Cpu.gpr cpu r) (read_rm cpu Insn.S32 rm)
+      in
+      Cpu.set_gpr cpu r lo;
+      set_fl nf
+  | Insn.Div (sz, rm) | Insn.Idiv (sz, rm) -> (
+      let signed = match f.Decode.insn with Insn.Idiv _ -> true | _ -> false in
+      let g = if signed then F.idiv else F.div in
+      let divisor = read_rm cpu sz rm in
+      match sz with
+      | Insn.S8 -> (
+          (* dividend = AX = AH:AL *)
+          match g Insn.S8 (read_r8 cpu 4) (read_r8 cpu 0) divisor with
+          | Some (q, r) ->
+              write_r8 cpu 0 q;
+              write_r8 cpu 4 r
+          | None -> raise (Exn.Fault Exn.DE))
+      | Insn.S32 -> (
+          match
+            g Insn.S32 (Cpu.gpr cpu Regs.edx) (Cpu.gpr cpu Regs.eax) divisor
+          with
+          | Some (q, r) ->
+              Cpu.set_gpr cpu Regs.eax q;
+              Cpu.set_gpr cpu Regs.edx r
+          | None -> raise (Exn.Fault Exn.DE)))
+  | Insn.Cdq ->
+      Cpu.set_gpr cpu Regs.edx
+        (if Cpu.gpr cpu Regs.eax land 0x80000000 <> 0 then 0xffffffff else 0)
+  | Insn.Push src ->
+      let v =
+        match src with
+        | Insn.PushR r -> Cpu.gpr cpu r
+        | Insn.PushI i -> mask32 i
+        | Insn.PushM m -> mem_read cpu ~size:4 (ea cpu m)
+      in
+      push32 cpu v
+  | Insn.Pop rm -> (
+      let v = pop32 cpu in
+      match rm with
+      | Insn.R r -> Cpu.set_gpr cpu r v
+      | Insn.M m -> mem_write cpu ~size:4 (ea cpu m) v)
+  | Insn.Pushf ->
+      push32 cpu
+        (fl () lor (if cpu.Cpu.iflag then F.if_mask else 0))
+  | Insn.Popf ->
+      (* status bits into the native flags register; IF CMS-side *)
+      let v = pop32 cpu in
+      set_fl (v land F.status_mask lor F.reserved);
+      cpu.Cpu.iflag <- v land F.if_mask <> 0
+  | Insn.Jcc (cc, target) ->
+      let taken = F.eval_cond cc (fl ()) in
+      Profile.note_branch t.profile pc ~taken;
+      if taken then Cpu.set_eip cpu target
+  | Insn.Setcc (cc, rm) ->
+      write_rm cpu Insn.S8 rm (if F.eval_cond cc (fl ()) then 1 else 0)
+  | Insn.Jmp target -> Cpu.set_eip cpu target
+  | Insn.JmpInd rm -> Cpu.set_eip cpu (read_rm cpu Insn.S32 rm)
+  | Insn.Call target ->
+      push32 cpu (Cpu.eip cpu);
+      Cpu.set_eip cpu target
+  | Insn.CallInd rm ->
+      let target = read_rm cpu Insn.S32 rm in
+      push32 cpu (Cpu.eip cpu);
+      Cpu.set_eip cpu target
+  | Insn.Ret n ->
+      let r = pop32 cpu in
+      Cpu.set_gpr cpu Regs.esp (mask32 (Cpu.gpr cpu Regs.esp + n));
+      Cpu.set_eip cpu r
+  | Insn.Int3 ->
+      (* trap: pushed EIP is the next instruction (already in EIP) *)
+      Cpu.deliver cpu ~vector:(Exn.vector Exn.BP) ~error_code:None
+  | Insn.Int v -> Cpu.deliver cpu ~vector:v ~error_code:None
+  | Insn.Iret ->
+      let neip = pop32 cpu in
+      let nfl = pop32 cpu in
+      Cpu.set_eip cpu neip;
+      set_fl (nfl land F.status_mask lor F.reserved);
+      cpu.Cpu.iflag <- nfl land F.if_mask <> 0
+  | Insn.In (sz, port) ->
+      let p =
+        match port with
+        | Insn.PortImm p -> p
+        | Insn.PortDx -> Cpu.gpr cpu Regs.edx land 0xffff
+      in
+      let v = Machine.Bus.port_read (Cpu.bus cpu) p in
+      (match sz with
+      | Insn.S8 -> write_r8 cpu 0 v
+      | Insn.S32 -> Cpu.set_gpr cpu Regs.eax (mask32 v))
+  | Insn.Out (sz, port) ->
+      let p =
+        match port with
+        | Insn.PortImm p -> p
+        | Insn.PortDx -> Cpu.gpr cpu Regs.edx land 0xffff
+      in
+      let v =
+        match sz with
+        | Insn.S8 -> read_r8 cpu 0
+        | Insn.S32 -> Cpu.gpr cpu Regs.eax
+      in
+      Machine.Bus.port_write (Cpu.bus cpu) p v
+  | Insn.Hlt -> cpu.Cpu.halted <- true
+  | Insn.Nop -> ()
+  | Insn.Cli -> cpu.Cpu.iflag <- false
+  | Insn.Sti -> cpu.Cpu.iflag <- true
+  | Insn.Strop { rep; op; size } ->
+      exec_strop t pc ~next:(mask32 (pc + f.Decode.len)) ~rep ~op ~size
+  | Insn.Lidt m ->
+      cpu.Cpu.idt_base <- mem_read cpu ~size:4 (ea cpu m)
+
+(* ------------------------------------------------------------------ *)
+(* The step function                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Execute exactly one x86 instruction at the committed EIP: decode,
+    execute, commit; or fault, roll back, deliver.  Profiles execution
+    counts, branch bias and MMIO usage on the way. *)
+let step t =
+  let cpu = t.cpu in
+  if cpu.Cpu.halted then Halted
+  else begin
+    let pc = Cpu.committed_eip cpu in
+    ignore (Profile.bump t.profile pc);
+    let bus = Cpu.bus cpu in
+    let mmio_before = bus.Machine.Bus.mmio_reads + bus.Machine.Bus.mmio_writes in
+    match
+      let f = Decode.decode ~fetch:(Machine.Mem.fetch8 (Cpu.mem cpu)) pc in
+      Cpu.set_eip cpu (mask32 (pc + f.Decode.len));
+      exec_insn t pc f
+    with
+    | () ->
+        Cpu.commit cpu;
+        if bus.Machine.Bus.mmio_reads + bus.Machine.Bus.mmio_writes
+           <> mmio_before
+        then Profile.note_mmio t.profile pc;
+        t.stats.Stats.x86_interp <- t.stats.Stats.x86_interp + 1;
+        Stats.charge t.stats t.cfg.Config.interp_cost;
+        Stepped
+    | exception Exn.Fault fault ->
+        (* discard partial working state; memory writes are ordered
+           after all fault points, so none have happened *)
+        Cpu.rollback cpu;
+        t.stats.Stats.x86_interp <- t.stats.Stats.x86_interp + 1;
+        Stats.charge t.stats t.cfg.Config.interp_cost;
+        Cpu.deliver_fault cpu fault;
+        Faulted fault
+  end

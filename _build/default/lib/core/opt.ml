@@ -1,0 +1,356 @@
+(** IR optimization passes.
+
+    The translator "performs a number of traditional and Crusoe-specific
+    optimizations" (paper §2).  Implemented here, all on the linear IR:
+
+    - dead-condition-code elimination: x86 sets flags on almost every
+      instruction, but most flag results are overwritten before use;
+      retargeting dead flag writes to a scratch register removes the
+      serial dependence chain through EFLAGS that would otherwise kill
+      VLIW parallelism (Crusoe-specific, enabled by the [fw] field);
+    - copy propagation and constant propagation/folding;
+    - dead code elimination (pure ALU results only — memory operations
+      keep their architectural fault side effects);
+    - redundant-load elimination and store-to-load forwarding within
+      extended basic blocks.
+
+    Liveness is computed by iterative dataflow over the block graph; a
+    [Commit] observes all guest state, which is what makes interior
+    flag results deletable while every exit still materializes precise
+    x86 flags. *)
+
+module A = Vliw.Atom
+module ISet = Set.Make (Int)
+
+type block = {
+  label : Ir.label option;
+  mutable ops : Ir.op array;
+  mutable succs : int list;  (** block indices *)
+  mutable live_in : ISet.t;
+  mutable live_out : ISet.t;
+}
+
+let guest_regs =
+  List.init Vliw.Abi.shadow_count (fun i -> i) |> ISet.of_list
+
+(* Commit makes all shadowed guest state observable. *)
+let op_uses (o : Ir.op) =
+  match o.Ir.atom with
+  | A.Commit _ -> guest_regs
+  | a -> ISet.of_list (A.uses a)
+
+let op_defs (o : Ir.op) = ISet.of_list (A.defs o.Ir.atom)
+
+(* Backward transfer; [A.uses] is flags-precise, so this is exact. *)
+let live_before (o : Ir.op) live =
+  ISet.union (op_uses o) (ISet.diff live (op_defs o))
+
+(* ------------------------------------------------------------------ *)
+(* Block construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let build_blocks items =
+  (* leaders: labels and the op following a branch *)
+  let blocks = ref [] in
+  let cur = ref [] and cur_label = ref None in
+  let flush () =
+    if !cur <> [] || !cur_label <> None then begin
+      blocks :=
+        {
+          label = !cur_label;
+          ops = Array.of_list (List.rev !cur);
+          succs = [];
+          live_in = ISet.empty;
+          live_out = ISet.empty;
+        }
+        :: !blocks;
+      cur := [];
+      cur_label := None
+    end
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Ir.Lbl l ->
+          flush ();
+          cur_label := Some l
+      | Ir.Op o ->
+          cur := o :: !cur;
+          if A.is_branch o.Ir.atom then flush ())
+    items;
+  flush ();
+  let blocks = Array.of_list (List.rev !blocks) in
+  (* successor edges *)
+  let label_block = Hashtbl.create 16 in
+  Array.iteri
+    (fun i b -> match b.label with Some l -> Hashtbl.add label_block l i | None -> ())
+    blocks;
+  Array.iteri
+    (fun i b ->
+      let n = Array.length b.ops in
+      let last = if n = 0 then None else Some b.ops.(n - 1).Ir.atom in
+      let fallthrough =
+        if i + 1 < Array.length blocks then [ i + 1 ] else []
+      in
+      b.succs <-
+        (match last with
+        | Some (A.Br { target }) -> [ Hashtbl.find label_block target ]
+        | Some (A.BrCond { target; _ }) | Some (A.BrCmp { target; _ }) ->
+            Hashtbl.find label_block target :: fallthrough
+        | Some (A.Exit _) -> []
+        | _ -> fallthrough))
+    blocks;
+  blocks
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compute_liveness blocks =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = Array.length blocks - 1 downto 0 do
+      let b = blocks.(i) in
+      let out =
+        List.fold_left
+          (fun acc s -> ISet.union acc blocks.(s).live_in)
+          ISet.empty b.succs
+      in
+      let inn = Array.fold_right live_before b.ops out in
+      if not (ISet.equal out b.live_out && ISet.equal inn b.live_in) then begin
+        b.live_out <- out;
+        b.live_in <- inn;
+        changed := true
+      end
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: dead flag retargeting + DCE                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure ops whose results can be discarded when dead.  Memory, control,
+   commits, and DivX (faulting) must stay. *)
+let is_pure = function
+  | A.Nop | A.MovI _ | A.MovR _ | A.Alu _ | A.AluX _ | A.MulX _ | A.SetCond _
+  | A.ExtField _ | A.InsField _ ->
+      true
+  | _ -> false
+
+let dce_and_flags (_ir : Ir.t) blocks =
+  let removed = ref 0 and retargeted = ref 0 in
+  Array.iter
+    (fun b ->
+      let live = ref b.live_out in
+      let keep = ref [] in
+      for k = Array.length b.ops - 1 downto 0 do
+        let o = b.ops.(k) in
+        let defs = op_defs o in
+        let any_live = ISet.exists (fun r -> ISet.mem r !live) defs in
+        if (not any_live) && is_pure o.Ir.atom && not (ISet.is_empty defs)
+        then incr removed (* drop the op *)
+        else begin
+          (* dead condition codes: drop the flags write entirely, and
+             the flags read too unless the *result* consumes flags
+             (adc/sbb).  This removes the serial EFLAGS chain between
+             consecutive ALU operations. *)
+          (match o.Ir.atom with
+          | A.AluX ({ fw; fr; op; _ } as r)
+            when fw = Vliw.Abi.eflags
+                 && (not (ISet.mem Vliw.Abi.eflags !live))
+                 && op <> A.XNot ->
+              let needs_fr = op = A.XAdc || op = A.XSbb in
+              o.Ir.atom <-
+                A.AluX
+                  { r with fw = A.no_flags;
+                    fr = (if needs_fr then fr else A.no_flags) };
+              incr retargeted
+          | A.MulX ({ fw; _ } as r)
+            when fw = Vliw.Abi.eflags && not (ISet.mem Vliw.Abi.eflags !live) ->
+              o.Ir.atom <- A.MulX { r with fw = A.no_flags; fr = A.no_flags };
+              incr retargeted
+          | _ -> ());
+          keep := o :: !keep;
+          live := live_before o !live
+        end
+      done;
+      b.ops <- Array.of_list !keep)
+    blocks;
+  (!removed, !retargeted)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: copy + constant propagation (per block)                     *)
+(* ------------------------------------------------------------------ *)
+
+let subst_src copies s =
+  match s with
+  | A.R r -> ( match Hashtbl.find_opt copies r with Some s' -> s' | None -> s)
+  | A.I _ -> s
+
+let subst_reg copies r =
+  match Hashtbl.find_opt copies r with Some (A.R r') -> r' | _ -> r
+
+(* Substitute into an op's sources only.  Register-valued positions
+   (Load/Store base, DivX hi/lo, BrCmp a, ...) only accept register
+   substitutions. *)
+let substitute copies (o : Ir.op) =
+  let s = subst_src copies and r = subst_reg copies in
+  o.Ir.atom <-
+    (match o.Ir.atom with
+    | A.MovR { rd; rs } -> (
+        match Hashtbl.find_opt copies rs with
+        | Some (A.I imm) -> A.MovI { rd; imm }
+        | Some (A.R rs') -> A.MovR { rd; rs = rs' }
+        | None -> A.MovR { rd; rs })
+    | A.Alu a -> A.Alu { a with a = r a.a; b = s a.b }
+    | A.AluX a -> A.AluX { a with a = s a.a; b = s a.b }
+    | A.MulX a -> A.MulX { a with a = s a.a; b = s a.b }
+    | A.DivX a -> A.DivX { a with hi = r a.hi; lo = r a.lo; divisor = s a.divisor }
+    | A.ExtField a -> A.ExtField { a with rs = r a.rs }
+    | A.InsField a -> A.InsField { a with rs = r a.rs }
+    | A.Load a -> A.Load { a with base = r a.base }
+    | A.Store a -> A.Store { a with rs = s a.rs; base = r a.base }
+    | A.BrCmp a -> A.BrCmp { a with a = r a.a; b = s a.b }
+    | atom -> atom)
+
+let mask32 v = v land 0xffffffff
+let sext32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let fold_alu op a b =
+  match op with
+  | A.HAdd -> mask32 (a + b)
+  | A.HSub -> mask32 (a - b)
+  | A.HAnd -> a land b
+  | A.HOr -> a lor b
+  | A.HXor -> a lxor b
+  | A.HShl -> mask32 (a lsl (b land 31))
+  | A.HShr -> a lsr (b land 31)
+  | A.HSar -> mask32 (sext32 a asr (b land 31))
+  | A.HMul -> mask32 (a * b)
+
+let copy_const_prop blocks =
+  let folded = ref 0 in
+  Array.iter
+    (fun b ->
+      let copies : (int, A.src) Hashtbl.t = Hashtbl.create 32 in
+      let kill r =
+        Hashtbl.remove copies r;
+        (* drop mappings whose source was just redefined *)
+        let stale =
+          Hashtbl.fold
+            (fun k v acc -> if v = A.R r then k :: acc else acc)
+            copies []
+        in
+        List.iter (Hashtbl.remove copies) stale
+      in
+      Array.iter
+        (fun (o : Ir.op) ->
+          substitute copies o;
+          (* fold a fully-constant host ALU op *)
+          (match o.Ir.atom with
+          | A.Alu { op; rd; a; b = A.I bi } -> (
+              match Hashtbl.find_opt copies a with
+              | Some (A.I ai) ->
+                  o.Ir.atom <- A.MovI { rd; imm = fold_alu op ai bi };
+                  incr folded
+              | _ -> ())
+          | _ -> ());
+          List.iter kill (A.defs o.Ir.atom);
+          (* record new copy facts (temps only as keys) *)
+          match o.Ir.atom with
+          | A.MovI { rd; imm } when Ir.is_vreg rd ->
+              Hashtbl.replace copies rd (A.I imm)
+          | A.MovR { rd; rs } when Ir.is_vreg rd ->
+              Hashtbl.replace copies rd (A.R rs)
+          | _ -> ())
+        b.ops)
+    blocks;
+  !folded
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: redundant loads & store-to-load forwarding (per block)      *)
+(* ------------------------------------------------------------------ *)
+
+let redundant_loads blocks =
+  let eliminated = ref 0 in
+  Array.iter
+    (fun b ->
+      (* (base reg, disp, size) -> register currently holding the value;
+         base keys are invalidated when the base register is redefined,
+         everything memory-derived dies at stores/commits *)
+      let avail : (int * int * int, int) Hashtbl.t = Hashtbl.create 16 in
+      let kill_reg r =
+        let stale =
+          Hashtbl.fold
+            (fun ((base, _, _) as k) v acc ->
+              if base = r || v = r then k :: acc else acc)
+            avail []
+        in
+        List.iter (Hashtbl.remove avail) stale
+      in
+      Array.iter
+        (fun (o : Ir.op) ->
+          match o.Ir.atom with
+          | A.Load { rd; base; disp; size; spec = false; protect = None; _ }
+            -> (
+              match Hashtbl.find_opt avail (base, disp, size) with
+              | Some r when r <> rd ->
+                  o.Ir.atom <- A.MovR { rd; rs = r };
+                  incr eliminated;
+                  List.iter kill_reg (A.defs o.Ir.atom);
+                  Hashtbl.replace avail (base, disp, size) rd
+              | _ ->
+                  List.iter kill_reg (A.defs o.Ir.atom);
+                  (* a load into its own base register invalidates the key *)
+                  if rd <> base then Hashtbl.replace avail (base, disp, size) rd)
+          | A.Store { rs; base; disp; size; _ } -> (
+              (* conservative: a store kills all remembered values,
+                 then forwards its own *)
+              Hashtbl.reset avail;
+              match rs with
+              | A.R r -> Hashtbl.replace avail (base, disp, size) r
+              | A.I _ -> ())
+          | A.Commit _ -> Hashtbl.reset avail
+          | atom -> List.iter kill_reg (A.defs atom))
+        b.ops)
+    blocks;
+  !eliminated
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  items : Ir.item list;
+  removed : int;
+  flags_retargeted : int;
+  folded : int;
+  loads_eliminated : int;
+}
+
+let flatten blocks =
+  Array.to_list blocks
+  |> List.concat_map (fun b ->
+         (match b.label with Some l -> [ Ir.Lbl l ] | None -> [])
+         @ (Array.to_list b.ops |> List.map (fun o -> Ir.Op o)))
+
+(** Run the pass pipeline over lowered IR items. *)
+let run (ir : Ir.t) items =
+  let blocks = build_blocks items in
+  let folded = copy_const_prop blocks in
+  let loads_eliminated = redundant_loads blocks in
+  (* propagate copies introduced by load elimination *)
+  let _ = copy_const_prop blocks in
+  compute_liveness blocks;
+  let removed, flags_retargeted = dce_and_flags ir blocks in
+  (* removal may make more code dead; one more round is cheap *)
+  compute_liveness blocks;
+  let removed2, retarg2 = dce_and_flags ir blocks in
+  {
+    items = flatten blocks;
+    removed = removed + removed2;
+    flags_retargeted = flags_retargeted + retarg2;
+    folded;
+    loads_eliminated;
+  }

@@ -1,0 +1,75 @@
+(** Translation policies — the conservatism lattice.
+
+    A translation is made under a policy; recurring faults retranslate
+    under a *more conservative* policy.  Crucially, merging is monotone
+    (paper §3.2): "the new translation keeps track of the policies used,
+    so that if another problem arises requiring different conservative
+    policies, CMS will add them to the existing ones to avoid bouncing
+    between translations with incomparable policies". *)
+
+module ISet = Set.Make (Int)
+
+type t = {
+  no_reorder : bool;  (** suppress all load/store reordering *)
+  no_alias : bool;  (** reorder only when statically provable *)
+  max_insns : int;  (** region size cap for this entry *)
+  unroll : int;  (** unroll budget (region may revisit a pc this often) *)
+  self_check : bool;  (** embed source-byte checking code *)
+  self_reval : bool;  (** self-revalidating prologue *)
+  interp_insns : ISet.t;
+      (** instruction addresses executed via interpreter exits (known
+          MMIO accessors, recurrent genuine faulters) *)
+  stylized_imms : ISet.t;
+      (** addresses whose imm32 field is reloaded from the code bytes at
+          run time (stylized SMC, §3.6.4) *)
+}
+
+let default (cfg : Config.t) =
+  {
+    no_reorder = not cfg.Config.enable_reorder;
+    no_alias = not cfg.Config.enable_alias_hw;
+    max_insns = cfg.Config.max_region_insns;
+    unroll = cfg.Config.unroll_limit;
+    self_check = cfg.Config.force_self_check;
+    self_reval = false;
+    interp_insns = ISet.empty;
+    stylized_imms = ISet.empty;
+  }
+
+(** Least upper bound: strictly more conservative than both inputs. *)
+let merge a b =
+  {
+    no_reorder = a.no_reorder || b.no_reorder;
+    no_alias = a.no_alias || b.no_alias;
+    max_insns = min a.max_insns b.max_insns;
+    unroll = min a.unroll b.unroll;
+    self_check = a.self_check || b.self_check;
+    self_reval = a.self_reval || b.self_reval;
+    interp_insns = ISet.union a.interp_insns b.interp_insns;
+    stylized_imms = ISet.union a.stylized_imms b.stylized_imms;
+  }
+
+(** Semantic equality ([Stdlib.( = )] is wrong here: equal [ISet]s can
+    have different tree shapes). *)
+let equal a b =
+  a.no_reorder = b.no_reorder
+  && a.no_alias = b.no_alias
+  && a.max_insns = b.max_insns
+  && a.unroll = b.unroll
+  && a.self_check = b.self_check
+  && a.self_reval = b.self_reval
+  && ISet.equal a.interp_insns b.interp_insns
+  && ISet.equal a.stylized_imms b.stylized_imms
+
+(** Partial order: is [a] at least as conservative as [b]? *)
+let geq a b = equal (merge a b) a
+
+let pp fmt p =
+  Fmt.pf fmt "{%s%s%s%s max=%d interp=%d stylized=%d}"
+    (if p.no_reorder then " no-reorder" else "")
+    (if p.no_alias then " no-alias" else "")
+    (if p.self_check then " self-check" else "")
+    (if p.self_reval then " self-reval" else "")
+    p.max_insns
+    (ISet.cardinal p.interp_insns)
+    (ISet.cardinal p.stylized_imms)

@@ -1,0 +1,61 @@
+(** Execution profiling gathered by the interpreter (paper §2: the
+    interpreter collects "data on execution frequency, branch
+    directions, and memory-mapped I/O operations"). *)
+
+type branch_bias = { mutable taken : int; mutable not_taken : int }
+
+type t = {
+  exec_counts : (int, int ref) Hashtbl.t;  (** per-EIP execution counts *)
+  branches : (int, branch_bias) Hashtbl.t;  (** per-branch direction data *)
+  mmio_insns : (int, unit) Hashtbl.t;
+      (** instructions observed touching memory-mapped I/O *)
+}
+
+let create () =
+  {
+    exec_counts = Hashtbl.create 1024;
+    branches = Hashtbl.create 256;
+    mmio_insns = Hashtbl.create 64;
+  }
+
+(** Count one interpreted execution of the instruction at [eip];
+    returns the updated count. *)
+let bump t eip =
+  match Hashtbl.find_opt t.exec_counts eip with
+  | Some r ->
+      incr r;
+      !r
+  | None ->
+      Hashtbl.add t.exec_counts eip (ref 1);
+      1
+
+let count t eip =
+  match Hashtbl.find_opt t.exec_counts eip with Some r -> !r | None -> 0
+
+(** Forget the count (after translating, so invalidation restarts the
+    threshold climb). *)
+let reset_count t eip = Hashtbl.remove t.exec_counts eip
+
+let note_branch t eip ~taken =
+  let b =
+    match Hashtbl.find_opt t.branches eip with
+    | Some b -> b
+    | None ->
+        let b = { taken = 0; not_taken = 0 } in
+        Hashtbl.add t.branches eip b;
+        b
+  in
+  if taken then b.taken <- b.taken + 1 else b.not_taken <- b.not_taken + 1
+
+(** Predicted direction for the conditional branch at [eip]; [None]
+    when there is no clear bias. *)
+let bias t eip =
+  match Hashtbl.find_opt t.branches eip with
+  | None -> None
+  | Some { taken; not_taken } ->
+      if taken >= 3 * (not_taken + 1) then Some true
+      else if not_taken >= 3 * (taken + 1) then Some false
+      else None
+
+let note_mmio t eip = Hashtbl.replace t.mmio_insns eip ()
+let is_mmio_insn t eip = Hashtbl.mem t.mmio_insns eip

@@ -1,0 +1,566 @@
+(** VLIW list scheduler, speculation assignment, and register allocation.
+
+    Packs IR ops into molecules respecting functional units (2 ALU /
+    1 MEM / 1 FP-media / 1 BR), operation latencies (explicit nop
+    molecules fill exposed latency — the hardware has no interlocks),
+    and a dependence graph whose *breakable* edges are where the paper's
+    speculation happens:
+
+    - a store→load order edge is removed when the accesses are provably
+      disjoint (static disambiguation), or — with the alias hardware —
+      by arming a slot at the load and checking it at the store (§3.5);
+    - loads may hoist above conditional branches (boosting); rollback
+      recovery makes the bookkeeping free (§3.2);
+    - stores, guest-state writes, commits and branches are anchors that
+      never cross each other: side exits commit, so architectural state
+      must be in program order at every branch.
+
+    After scheduling, any load that ended up ahead of a program-earlier
+    store or branch is marked [spec] — the bit the hardware uses to
+    fault speculative accesses to I/O space (§3.4).
+
+    Register allocation runs after scheduling (temporaries are virtual
+    until then, so no false dependences constrain the schedule); running
+    out of host temporaries raises {!Regalloc_overflow}, which the
+    translator handles by retrying with a smaller region. *)
+
+module A = Vliw.Atom
+
+exception Regalloc_overflow
+
+type opts = {
+  reorder : bool;  (** break st→ld edges at all (Fig. 2 knob) *)
+  use_alias : bool;  (** alias hardware available (Fig. 3 knob) *)
+  alias_slots : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Dependence graph                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type node = {
+  op : Ir.op;
+  idx : int;  (** program order within segment *)
+  mutable succs : (int * int) list;  (** (node, weight) *)
+  mutable preds : int;  (** unscheduled predecessor count *)
+  mutable earliest : int;
+  mutable prio : int;  (** critical-path length *)
+  mutable cycle : int;  (** assigned cycle; -1 unscheduled *)
+}
+
+let sext32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let mem_parts (a : A.t) =
+  match a with
+  | A.Load { base; disp; size; _ } -> Some (base, sext32 (disp land 0xffffffff), size)
+  | A.Store { base; disp; size; _ } -> Some (base, sext32 (disp land 0xffffffff), size)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Static disambiguation prepass                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Annotate every memory op with the def-version of its base register
+   (so "same register" means "same value") and, when the trace itself
+   materialized the base (MovI / simple arithmetic on a constant), its
+   absolute value.  This gives three-way answers: provably disjoint,
+   provably aliasing (never speculate: it would always fault), or
+   unknown (the alias hardware's job). *)
+let annotate_bases items =
+  let ver : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let cst : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let getv r = Hashtbl.find_opt ver r |> Option.value ~default:0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Ir.Lbl _ ->
+          (* joins invalidate constant knowledge *)
+          Hashtbl.reset cst
+      | Ir.Op o ->
+          (match o.Ir.atom with
+          | A.Load { base; _ } | A.Store { base; _ } ->
+              o.Ir.base_ver <- getv base;
+              o.Ir.base_abs <- Hashtbl.find_opt cst base
+          | _ -> ());
+          (* update constant/version tracking with this op's defs *)
+          (match o.Ir.atom with
+          | A.MovI { rd; imm } -> Hashtbl.replace cst rd (imm land 0xffffffff)
+          | A.MovR { rd; rs } -> (
+              match Hashtbl.find_opt cst rs with
+              | Some v -> Hashtbl.replace cst rd v
+              | None -> Hashtbl.remove cst rd)
+          | A.Alu { op = A.HAdd; rd; a; b = A.I i } when Hashtbl.mem cst a ->
+              Hashtbl.replace cst rd ((Hashtbl.find cst a + i) land 0xffffffff)
+          | A.Alu { op = A.HSub; rd; a; b = A.I i } when Hashtbl.mem cst a ->
+              Hashtbl.replace cst rd ((Hashtbl.find cst a - i) land 0xffffffff)
+          | atom -> List.iter (Hashtbl.remove cst) (A.defs atom));
+          List.iter
+            (fun r -> Hashtbl.replace ver r (getv r + 1))
+            (A.defs o.Ir.atom))
+    items
+
+type mem_rel = Disjoint | Must_alias | Unknown
+
+let mem_relation (a : Ir.op) (b : Ir.op) =
+  match (mem_parts a.Ir.atom, mem_parts b.Ir.atom) with
+  | Some (b1, d1, s1), Some (b2, d2, s2) -> (
+      match (a.Ir.base_abs, b.Ir.base_abs) with
+      | Some v1, Some v2 ->
+          let lo1 = v1 + d1 and lo2 = v2 + d2 in
+          if lo1 + s1 <= lo2 || lo2 + s2 <= lo1 then Disjoint else Must_alias
+      | _ ->
+          if b1 = b2 && a.Ir.base_ver = b.Ir.base_ver then
+            if d1 + s1 <= d2 || d2 + s2 <= d1 then Disjoint else Must_alias
+          else Unknown)
+  | _ -> Unknown
+
+let provably_disjoint a b = mem_relation a b = Disjoint
+
+let is_store a = match a with A.Store _ -> true | _ -> false
+let is_arm a = match a with A.ArmRange _ -> true | _ -> false
+let is_load a = match a with A.Load _ -> true | _ -> false
+let is_commit a = match a with A.Commit _ -> true | _ -> false
+
+let guest_def a =
+  List.exists (fun r -> r < Vliw.Abi.shadow_count) (A.defs a)
+
+(* Anchors are ops that must stay in program order relative to
+   branches: architectural effects. *)
+let is_anchor a = is_store a || guest_def a || is_commit a
+
+let build_graph ~(opts : opts) ~slot_counter (ops : Ir.op array) =
+  let n = Array.length ops in
+  let nodes =
+    Array.mapi
+      (fun i op ->
+        { op; idx = i; succs = []; preds = 0; earliest = 0; prio = 0; cycle = -1 })
+      ops
+  in
+  let edge i j w =
+    if i <> j then begin
+      (* keep the max weight between a pair; duplicates are harmless for
+         correctness but we avoid pred-count inflation *)
+      let ni = nodes.(i) in
+      match List.assoc_opt j ni.succs with
+      | Some w' ->
+          if w > w' then
+            ni.succs <- (j, w) :: List.remove_assoc j ni.succs
+      | None ->
+          ni.succs <- (j, w) :: ni.succs;
+          nodes.(j).preds <- nodes.(j).preds + 1
+    end
+  in
+  (* --- register dependences --- *)
+  let last_def : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let readers : (int, int list) Hashtbl.t = Hashtbl.create 32 in
+  for j = 0 to n - 1 do
+    let a = ops.(j).Ir.atom in
+    List.iter
+      (fun r ->
+        (match Hashtbl.find_opt last_def r with
+        | Some i -> edge i j (A.latency ops.(i).Ir.atom) (* RAW *)
+        | None -> ());
+        Hashtbl.replace readers r
+          (j :: (Hashtbl.find_opt readers r |> Option.value ~default:[])))
+      (A.uses a);
+    List.iter
+      (fun r ->
+        (match Hashtbl.find_opt last_def r with
+        | Some i -> edge i j 1 (* WAW *)
+        | None -> ());
+        List.iter (fun i -> if i <> j then edge i j 0 (* WAR *))
+          (Hashtbl.find_opt readers r |> Option.value ~default:[]);
+        Hashtbl.replace last_def r j;
+        Hashtbl.replace readers r [])
+      (A.defs a)
+  done;
+  (* --- memory / anchor / control dependences --- *)
+  let prev_stores = ref [] and prev_loads = ref [] in
+  let prev_branches = ref [] and prev_anchors = ref [] in
+  let last_commit = ref (-1) in
+  let prev_all = ref [] in
+  for j = 0 to n - 1 do
+    let nj = ops.(j) in
+    let aj = nj.Ir.atom in
+    (* commits serialize against everything *)
+    if is_commit aj then List.iter (fun i -> edge i j 0) !prev_all;
+    if !last_commit >= 0 then edge !last_commit j 1;
+    (* nothing may hoist above a loop back-edge: it would re-execute
+       on every iteration (and, for loads, mis-speculate against the
+       loop's own stores) *)
+    (match List.find_opt (fun i -> ops.(i).Ir.barrier) !prev_branches with
+    | Some i -> edge i j 1
+    | None -> ());
+    if A.is_branch aj then begin
+      List.iter (fun i -> edge i j 1) !prev_branches;
+      List.iter (fun i -> edge i j 0) !prev_anchors;
+      (* loads must not sink below a later branch (their fault would be
+         skipped after a committed exit) *)
+      List.iter (fun i -> edge i j 0) !prev_loads
+    end;
+    if is_anchor aj then List.iter (fun i -> edge i j 1) !prev_branches;
+    if is_load aj && not (is_commit aj) then begin
+      (* st -> ld: the breakable edge.  With reordering suppressed
+         entirely (Fig. 2) even provably-disjoint pairs stay ordered;
+         static disambiguation is what the no-alias-hardware
+         configuration (Fig. 3) still gets to use.  Provably-aliasing
+         pairs are never speculated — they would fault every time. *)
+      List.iter
+        (fun i ->
+          if not opts.reorder then edge i j 1
+          else
+          match mem_relation ops.(i) nj with
+          | Disjoint -> ()
+          | Must_alias -> edge i j 1
+          | Unknown ->
+          if opts.use_alias && !slot_counter < opts.alias_slots then begin
+            (* arm a slot at the load, check it at the store *)
+            let slot =
+              match nj.Ir.atom with
+              | A.Load ({ protect = Some s; _ }) -> s
+              | A.Load ({ protect = None; _ } as l) ->
+                  let s = !slot_counter in
+                  incr slot_counter;
+                  nj.Ir.atom <- A.Load { l with protect = Some s };
+                  s
+              | _ -> assert false
+            in
+            match ops.(i).Ir.atom with
+            | A.Store ({ check; _ } as st) ->
+                ops.(i).Ir.atom <- A.Store { st with check = check lor (1 lsl slot) }
+            | _ -> assert false
+          end
+          else if opts.use_alias then edge i j 1 (* out of slots *)
+          else edge i j 1 (* no alias hw, not provably disjoint *))
+        !prev_stores;
+      (* a load also may not hoist above a branch *into an armed region*
+         carelessly — that is allowed and marked spec after scheduling *)
+      ()
+    end;
+    if is_store aj then begin
+      (* stores must not hoist above range-arming atoms *)
+      Array.iteri
+        (fun i o -> if i < j && is_arm o.Ir.atom then edge i j 0)
+        ops;
+      List.iter (fun i -> edge i j 1) !prev_stores;
+      (* stores may not pass earlier loads (the load must see the old
+         value) unless disjoint *)
+      List.iter
+        (fun i -> if not (provably_disjoint ops.(i) nj) then edge i j 0)
+        !prev_loads
+    end;
+    (* bookkeeping *)
+    if is_store aj then prev_stores := j :: !prev_stores;
+    if is_load aj then prev_loads := j :: !prev_loads;
+    if A.is_branch aj then prev_branches := j :: !prev_branches;
+    if is_anchor aj then prev_anchors := j :: !prev_anchors;
+    if is_commit aj then begin
+      last_commit := j;
+      (* a commit resets memory ordering state: buffered stores are
+         flushed and alias slots cleared *)
+      prev_stores := [];
+      prev_loads := []
+    end;
+    prev_all := j :: !prev_all
+  done;
+  (* critical-path priorities *)
+  for i = n - 1 downto 0 do
+    let ni = nodes.(i) in
+    ni.prio <-
+      List.fold_left
+        (fun acc (j, w) -> max acc (nodes.(j).prio + max w 1))
+        (A.latency ni.op.Ir.atom)
+        ni.succs
+  done;
+  nodes
+
+(* ------------------------------------------------------------------ *)
+(* List scheduling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let unit_of a = A.unit_of a
+
+let schedule_segment ~opts ~slot_counter (ops : Ir.op array) =
+  if Array.length ops = 0 then []
+  else begin
+    let nodes = build_graph ~opts ~slot_counter ops in
+    let n = Array.length nodes in
+    let unscheduled = ref n in
+    let cycle = ref 0 in
+    let molecules = ref [] in
+    while !unscheduled > 0 do
+      (* candidates ready at this cycle *)
+      let cands =
+        Array.to_list nodes
+        |> List.filter (fun nd ->
+               nd.cycle < 0 && nd.preds = 0 && nd.earliest <= !cycle)
+        |> List.sort (fun a b ->
+               match compare b.prio a.prio with
+               | 0 -> compare a.idx b.idx
+               | c -> c)
+      in
+      let alu = ref 0 and mem = ref 0 and fpm = ref 0 and br = ref 0 in
+      let slots = ref 0 in
+      let placed = ref [] in
+      List.iter
+        (fun nd ->
+          if !slots < Vliw.Molecule.max_slots then begin
+            let fits =
+              match unit_of nd.op.Ir.atom with
+              | A.UAlu -> !alu < 2
+              | A.UMem -> !mem < 1
+              | A.UFpm -> !fpm < 1
+              | A.UBr -> !br < 1
+              | A.UFree -> true
+            in
+            (* two defs of the same register cannot share a molecule *)
+            let defs = A.defs nd.op.Ir.atom in
+            let def_clash =
+              List.exists
+                (fun p ->
+                  List.exists
+                    (fun d -> List.mem d (A.defs p.op.Ir.atom))
+                    defs)
+                !placed
+            in
+            if fits && not def_clash then begin
+              (match unit_of nd.op.Ir.atom with
+              | A.UAlu -> incr alu
+              | A.UMem -> incr mem
+              | A.UFpm -> incr fpm
+              | A.UBr -> incr br
+              | A.UFree -> ());
+              (match unit_of nd.op.Ir.atom with
+              | A.UFree -> () (* commits do not consume an issue slot *)
+              | _ -> incr slots);
+              placed := nd :: !placed
+            end
+          end)
+        cands;
+      match !placed with
+      | [] ->
+          (* exposed latency: the hardware needs an explicit nop *)
+          molecules := [| A.Nop |] :: !molecules;
+          incr cycle
+      | ps ->
+          (* atoms within a molecule are ordered by program index so
+             phase-2 effects (stores, commit) land in program order *)
+          let ps = List.sort (fun a b -> compare a.idx b.idx) ps in
+          List.iter
+            (fun nd ->
+              nd.cycle <- !cycle;
+              List.iter
+                (fun (j, w) ->
+                  let s = nodes.(j) in
+                  s.preds <- s.preds - 1;
+                  s.earliest <- max s.earliest (!cycle + w))
+                nd.succs;
+              decr unscheduled)
+            ps;
+          molecules :=
+            Array.of_list (List.map (fun nd -> nd.op.Ir.atom) ps) :: !molecules;
+          incr cycle
+    done;
+    (* --- latency padding at the segment end --- *)
+    (* Control may leave this segment (fallthrough, branch, or loop
+       back-edge) into code scheduled independently, which assumes all
+       values are ready.  Pad with nops until every outstanding result
+       latency is covered. *)
+    let len = ref !cycle in
+    Array.iter
+      (fun nd ->
+        let fin = nd.cycle + A.latency nd.op.Ir.atom in
+        if fin > !len then len := fin)
+      nodes;
+    while !cycle < !len do
+      molecules := [| A.Nop |] :: !molecules;
+      incr cycle
+    done;
+    (* --- speculative-load marking --- *)
+    (* A load that executes no later than a program-earlier store or
+       branch has been reordered w.r.t. the x86 program. *)
+    Array.iter
+      (fun nd ->
+        match nd.op.Ir.atom with
+        | A.Load l ->
+            let reordered =
+              Array.exists
+                (fun other ->
+                  other.idx < nd.idx
+                  && (is_store other.op.Ir.atom || A.is_branch other.op.Ir.atom)
+                  && other.cycle >= nd.cycle)
+                nodes
+            in
+            if reordered || l.protect <> None then
+              nd.op.Ir.atom <- A.Load { l with spec = true }
+        | _ -> ())
+      nodes;
+    List.rev !molecules
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-block scheduling                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Split items into label-delimited segments. *)
+let segments items =
+  let segs = ref [] and cur = ref [] and cur_label = ref None in
+  let flush () =
+    segs := (!cur_label, Array.of_list (List.rev !cur)) :: !segs;
+    cur := [];
+    cur_label := None
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | Ir.Lbl l ->
+          flush ();
+          cur_label := Some l
+      | Ir.Op o -> cur := o :: !cur)
+    items;
+  flush ();
+  List.rev !segs |> List.filter (fun (l, ops) -> l <> None || Array.length ops > 0)
+
+(** Schedule IR items into molecules; returns the molecule list (with
+    branch targets still holding label ids) plus the label->molecule
+    map. *)
+let schedule ~opts items =
+  annotate_bases items;
+  let slot_counter = ref 0 in
+  let label_mol : (Ir.label, int) Hashtbl.t = Hashtbl.create 16 in
+  let all = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (label, ops) ->
+      (match label with Some l -> Hashtbl.replace label_mol l !count | None -> ());
+      let ms = schedule_segment ~opts ~slot_counter ops in
+      List.iter
+        (fun m ->
+          all := m :: !all;
+          incr count)
+        ms)
+    (segments items);
+  let molecules = Array.of_list (List.rev !all) in
+  (* resolve label ids to molecule indices *)
+  let resolve l =
+    match Hashtbl.find_opt label_mol l with
+    | Some m -> m
+    | None -> failwith (Fmt.str "Sched: unresolved label %d" l)
+  in
+  Array.iteri
+    (fun i m ->
+      Array.iteri
+        (fun k a ->
+          match a with
+          | A.Br { target } -> m.(k) <- A.Br { target = resolve target }
+          | A.BrCond b -> m.(k) <- A.BrCond { b with target = resolve b.target }
+          | A.BrCmp b -> m.(k) <- A.BrCmp { b with target = resolve b.target }
+          | _ -> ())
+        m;
+      molecules.(i) <- m)
+    molecules;
+  molecules
+
+(* ------------------------------------------------------------------ *)
+(* Register allocation (post-schedule linear scan)                     *)
+(* ------------------------------------------------------------------ *)
+
+let map_atom f (a : A.t) =
+  let fs = function A.R r -> A.R (f r) | A.I i -> A.I i in
+  let f r = if r < 0 then r else f r in
+  match a with
+  | A.Nop -> A.Nop
+  | A.MovI m -> A.MovI { m with rd = f m.rd }
+  | A.MovR m -> A.MovR { rd = f m.rd; rs = f m.rs }
+  | A.Alu m -> A.Alu { m with rd = f m.rd; a = f m.a; b = fs m.b }
+  | A.AluX m ->
+      A.AluX
+        { m with rd = Option.map f m.rd; a = fs m.a; b = fs m.b; fr = f m.fr; fw = f m.fw }
+  | A.MulX m ->
+      A.MulX
+        { m with rd_lo = f m.rd_lo; rd_hi = Option.map f m.rd_hi; a = fs m.a;
+          b = fs m.b; fr = f m.fr; fw = f m.fw }
+  | A.DivX m ->
+      A.DivX
+        { m with rd_q = f m.rd_q; rd_r = f m.rd_r; hi = f m.hi; lo = f m.lo;
+          divisor = fs m.divisor }
+  | A.SetCond m -> A.SetCond { m with rd = f m.rd; fr = f m.fr }
+  | A.ExtField m -> A.ExtField { m with rd = f m.rd; rs = f m.rs }
+  | A.InsField m -> A.InsField { m with rd = f m.rd; rs = f m.rs }
+  | A.Load m -> A.Load { m with rd = f m.rd; base = f m.base }
+  | A.Store m -> A.Store { m with rs = fs m.rs; base = f m.base }
+  | A.ArmRange m -> A.ArmRange { m with base = f m.base }
+  | A.BrCond m -> A.BrCond { m with fr = f m.fr }
+  | A.BrCmp m -> A.BrCmp { m with a = f m.a; b = fs m.b }
+  | A.Br _ | A.Commit _ | A.Exit _ -> a
+
+(** Map virtual registers to host temporaries in place. *)
+let regalloc (molecules : Vliw.Molecule.t array) =
+  (* global last use (as molecule index) of each vreg *)
+  let last_use : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i m ->
+      Array.iter
+        (fun a ->
+          List.iter
+            (fun r -> if Ir.is_vreg r then Hashtbl.replace last_use r i)
+            (A.uses a @ A.defs a))
+        m)
+    molecules;
+  let mapping : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let free = Queue.create () in
+  for r = Vliw.Abi.tmp_base to Vliw.Abi.num_regs - 1 do
+    Queue.add r free
+  done;
+  let expiring : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let map_use r =
+    if Ir.is_vreg r then
+      match Hashtbl.find_opt mapping r with
+      | Some h -> h
+      | None -> raise Regalloc_overflow (* use before def: internal bug *)
+    else r
+  in
+  let map_def r =
+    if Ir.is_vreg r then (
+      match Hashtbl.find_opt mapping r with
+      | Some h -> h
+      | None ->
+          if Queue.is_empty free then raise Regalloc_overflow;
+          let h = Queue.pop free in
+          Hashtbl.replace mapping r h;
+          let lu = Hashtbl.find_opt last_use r |> Option.value ~default:0 in
+          Hashtbl.replace expiring lu
+            (r :: (Hashtbl.find_opt expiring lu |> Option.value ~default:[]));
+          h)
+    else r
+  in
+  Array.iteri
+    (fun i m ->
+      Array.iteri
+        (fun k a ->
+          (* map uses with existing bindings; allocate defs *)
+          let f r =
+            if Ir.is_vreg r then
+              if List.mem r (A.defs a) && not (List.mem r (A.uses a)) then
+                map_def r
+              else map_use r
+            else r
+          in
+          (* ensure defs that are also uses (InsField) resolve to the
+             same existing binding *)
+          m.(k) <- map_atom f a)
+        m;
+      (* free vregs whose last use was this molecule *)
+      (match Hashtbl.find_opt expiring i with
+      | Some vs ->
+          List.iter
+            (fun v ->
+              match Hashtbl.find_opt mapping v with
+              | Some h ->
+                  Hashtbl.remove mapping v;
+                  Queue.add h free
+              | None -> ())
+            vs
+      | None -> ())
+    )
+    molecules

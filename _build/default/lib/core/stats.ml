@@ -1,0 +1,79 @@
+(** CMS-level statistics, layered over the host {!Vliw.Perf} counters.
+
+    The headline metric everywhere is *molecules per retired x86
+    instruction* (the paper's Table 1 metric).  Total molecules =
+    molecules executed by translations + cost-model charges for the
+    interpreter, the translator and the runtime's fault handling. *)
+
+type t = {
+  mutable x86_interp : int;  (** x86 insns retired by the interpreter *)
+  mutable x86_translated : int;  (** x86 insns retired from the tcache *)
+  mutable translations : int;
+  mutable retranslations : int;
+  mutable invalidations : int;
+  mutable insns_translated : int;  (** x86 insns fed to the translator *)
+  mutable translated_atoms : int;  (** emitted code size in atoms *)
+  mutable spec_faults : int;  (** native faults that proved speculative *)
+  mutable genuine_faults : int;  (** faults that reproduced under interp *)
+  mutable irq_delivered : int;
+  mutable irq_rollbacks : int;  (** interrupts that interrupted a translation *)
+  mutable chain_patches : int;
+  mutable lookups : int;  (** dispatcher lookups on unchained paths *)
+  mutable fault_entries : int;  (** CMS native-fault handler entries *)
+  mutable fg_installs : int;
+  mutable reval_checks : int;  (** self-revalidation prologue runs *)
+  mutable reval_hits : int;  (** prologue found code unchanged *)
+  mutable selfcheck_fails : int;
+  mutable group_hits : int;  (** reactivated a grouped translation *)
+  mutable tcache_flushes : int;
+  mutable charged_molecules : int;  (** cost-model molecules (non-translation) *)
+}
+
+let create () =
+  {
+    x86_interp = 0;
+    x86_translated = 0;
+    translations = 0;
+    retranslations = 0;
+    invalidations = 0;
+    insns_translated = 0;
+    translated_atoms = 0;
+    spec_faults = 0;
+    genuine_faults = 0;
+    irq_delivered = 0;
+    irq_rollbacks = 0;
+    chain_patches = 0;
+    lookups = 0;
+    fault_entries = 0;
+    fg_installs = 0;
+    reval_checks = 0;
+    reval_hits = 0;
+    selfcheck_fails = 0;
+    group_hits = 0;
+    tcache_flushes = 0;
+    charged_molecules = 0;
+  }
+
+let charge t m = t.charged_molecules <- t.charged_molecules + m
+
+let x86_retired t = t.x86_interp + t.x86_translated
+
+(** Total molecules: host-executed plus cost-model charges. *)
+let total_molecules t (perf : Vliw.Perf.t) =
+  perf.Vliw.Perf.molecules + t.charged_molecules
+
+(** Molecules per retired x86 instruction — the headline metric. *)
+let mpi t perf =
+  let retired = x86_retired t in
+  if retired = 0 then 0.0
+  else float_of_int (total_molecules t perf) /. float_of_int retired
+
+let pp fmt t =
+  Fmt.pf fmt
+    "x86[interp=%d trans=%d] translations=%d (re=%d inval=%d) \
+     faults[spec=%d genuine=%d] irq[%d rb=%d] chain=%d lookups=%d \
+     smc[fginst=%d reval=%d/%d scfail=%d group=%d] charged=%d"
+    t.x86_interp t.x86_translated t.translations t.retranslations
+    t.invalidations t.spec_faults t.genuine_faults t.irq_delivered
+    t.irq_rollbacks t.chain_patches t.lookups t.fg_installs t.reval_hits
+    t.reval_checks t.selfcheck_fails t.group_hits t.charged_molecules

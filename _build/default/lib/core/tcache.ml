@@ -1,0 +1,167 @@
+(** The translation cache.
+
+    Holds translation records indexed by x86 entry address, by id (for
+    chain resolution), and by physical page (for SMC invalidation).
+    Translation groups (paper §3.6.5) keep superseded translations of
+    the same region so that multi-version self-modifying code (the
+    Windows/9X BLT driver pattern) can reactivate an old translation by
+    snapshot match instead of retranslating.
+
+    When the cache exceeds its capacity the whole cache is flushed —
+    the simplest of the garbage collection policies real systems use
+    (and what CMS does under pressure). *)
+
+type trans = {
+  id : int;
+  entry : int;
+  code : Vliw.Code.t;
+  region : Region.t;
+  policy : Policy.t;
+  snapshot : Bytes.t option;
+      (** concatenated source bytes (in [region.src_ranges] order) at
+          translation time; present for self-checking / revalidating /
+          grouped translations *)
+  mutable valid : bool;
+  mutable execs : int;
+  (* adaptive-retranslation counters (per fault class) *)
+  mutable spec_faults : int;
+  mutable genuine_faults : int;
+  mutable smc_false : int;  (** protection faults with unchanged code *)
+  mutable reval_armed : bool;
+      (** self-revalidation prologue currently enabled: verify source
+          bytes, re-protect, then run (§3.6.2) *)
+  unprotected : bool;
+      (** self-checking translation guarded by the alias hardware; its
+          pages need no write protection (§3.6.3) *)
+}
+
+type t = {
+  by_entry : (int, trans) Hashtbl.t;
+  by_id : (int, trans) Hashtbl.t;
+  by_page : (int, trans list ref) Hashtbl.t;
+  groups : (int, trans list ref) Hashtbl.t;
+  mutable next_id : int;
+  capacity : int;
+  mutable count : int;
+  mutable flushes : int;
+}
+
+let create ~capacity =
+  {
+    by_entry = Hashtbl.create 512;
+    by_id = Hashtbl.create 512;
+    by_page = Hashtbl.create 128;
+    groups = Hashtbl.create 64;
+    next_id = 0;
+    capacity;
+    count = 0;
+    flushes = 0;
+  }
+
+let lookup t entry =
+  match Hashtbl.find_opt t.by_entry entry with
+  | Some tr when tr.valid -> Some tr
+  | _ -> None
+
+let by_id t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some tr when tr.valid -> Some tr
+  | _ -> None
+
+let pages_of_ranges ranges =
+  List.concat_map
+    (fun (lo, hi) ->
+      let first = lo lsr Machine.Mmu.page_shift
+      and last = (hi - 1) lsr Machine.Mmu.page_shift in
+      List.init (last - first + 1) (fun i -> first + i))
+    ranges
+  |> List.sort_uniq compare
+
+(** Translations whose source bytes live on physical page [ppn].
+    (Source ranges are linear addresses; the workloads map code
+    identity, which this exploits — documented limitation.) *)
+let on_page t ~ppn =
+  match Hashtbl.find_opt t.by_page ppn with
+  | Some l -> List.filter (fun tr -> tr.valid) !l
+  | None -> []
+
+let flush t =
+  Hashtbl.iter (fun _ tr -> tr.valid <- false) t.by_id;
+  Hashtbl.reset t.by_entry;
+  Hashtbl.reset t.by_id;
+  Hashtbl.reset t.by_page;
+  Hashtbl.reset t.groups;
+  t.count <- 0;
+  t.flushes <- t.flushes + 1
+
+(** Insert a new translation; returns it.  Replaces any current
+    translation for the same entry (the old one stays in the group). *)
+let insert ?(unprotected = false) t ~entry ~code ~region ~policy ~snapshot =
+  if t.count >= t.capacity then flush t;
+  let tr =
+    {
+      id = t.next_id;
+      entry;
+      code;
+      region;
+      policy;
+      snapshot;
+      valid = true;
+      execs = 0;
+      spec_faults = 0;
+      genuine_faults = 0;
+      smc_false = 0;
+      reval_armed = false;
+      unprotected;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.count <- t.count + 1;
+  Hashtbl.replace t.by_entry entry tr;
+  Hashtbl.replace t.by_id tr.id tr;
+  List.iter
+    (fun ppn ->
+      match Hashtbl.find_opt t.by_page ppn with
+      | Some l -> l := tr :: !l
+      | None -> Hashtbl.add t.by_page ppn (ref [ tr ]))
+    (pages_of_ranges region.Region.src_ranges);
+  tr
+
+(** Invalidate a translation.  With [keep_in_group] it is parked in the
+    entry's translation group for possible reactivation. *)
+let invalidate t tr ~keep_in_group =
+  if tr.valid then begin
+    tr.valid <- false;
+    (match Hashtbl.find_opt t.by_entry tr.entry with
+    | Some cur when cur.id = tr.id -> Hashtbl.remove t.by_entry tr.entry
+    | _ -> ());
+    if keep_in_group then begin
+      match Hashtbl.find_opt t.groups tr.entry with
+      | Some l -> l := tr :: !l
+      | None -> Hashtbl.add t.groups tr.entry (ref [ tr ])
+    end
+  end
+
+(** Search the entry's translation group for a parked translation whose
+    snapshot matches the current source bytes; reactivate on match. *)
+let group_match t ~entry ~current_bytes =
+  match Hashtbl.find_opt t.groups entry with
+  | None -> None
+  | Some l -> (
+      match
+        List.find_opt
+          (fun tr -> tr.snapshot = Some current_bytes)
+          !l
+      with
+      | Some tr ->
+          l := List.filter (fun x -> x.id <> tr.id) !l;
+          tr.valid <- true;
+          Hashtbl.replace t.by_entry entry tr;
+          Hashtbl.replace t.by_id tr.id tr;
+          Some tr
+      | None -> None)
+
+let group_size t ~entry =
+  match Hashtbl.find_opt t.groups entry with
+  | Some l -> List.length !l
+  | None -> 0

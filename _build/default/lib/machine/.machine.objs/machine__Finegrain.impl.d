@@ -1,0 +1,1 @@
+lib/machine/finegrain.ml: Hashtbl Int64 List Mmu

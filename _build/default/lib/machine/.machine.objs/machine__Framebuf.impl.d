@@ -1,0 +1,1 @@
+lib/machine/framebuf.ml: Bus Bytes Char Int32

@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Bus Bytes Char Finegrain Hashtbl Mmu Phys X86

@@ -1,0 +1,1 @@
+lib/machine/mmu.ml: Hashtbl X86

@@ -1,0 +1,1 @@
+lib/machine/phys.ml: Bytes Char Int32 String

@@ -1,0 +1,1 @@
+lib/machine/platform.ml: Bus Bytes Disk Framebuf Irq Mem Mmu Timer Uart

@@ -1,0 +1,1 @@
+lib/machine/timer.ml: Bus Irq

@@ -1,0 +1,1 @@
+lib/machine/uart.ml: Buffer Bus Char

@@ -1,0 +1,192 @@
+(** The guest memory system: MMU + bus + CMS translated-page protection.
+
+    Every guest-visible access funnels through here, from both the
+    interpreter and committed translation stores, so self-modifying-code
+    detection sees all writes regardless of execution mode.
+
+    Protection is layered (paper §3.6):
+
+    - a physical page can be [protected] because translations were made
+      from code on it; a store that hits a protected page raises an
+      *SMC event* toward CMS (it is not a guest-visible fault);
+    - a protected page may additionally be in *fine-grain mode*: the
+      {!Finegrain} hardware cache then filters writes by 64-byte chunk,
+      so stores to pure-data chunks proceed without any fault.
+
+    The guest's own #PF (not-present / read-only page) is raised from
+    {!Mmu.translate} before protection is even consulted. *)
+
+type smc_hit =
+  | Page_level  (** page-granular protection fault *)
+  | Fg_miss  (** fine-grain cache miss; software refill needed *)
+  | Fg_chunk  (** write overlaps a protected chunk *)
+
+exception Smc_stuck of int
+(** raised if an SMC handler fails to make progress (internal bug guard) *)
+
+type t = {
+  phys : Phys.t;
+  mmu : Mmu.t;
+  bus : Bus.t;
+  fg : Finegrain.t;
+  mutable fg_enabled : bool;  (** fine-grain hardware present (Table 1 knob) *)
+  protected_pages : (int, unit) Hashtbl.t;  (** ppn set *)
+  fg_pages : (int, unit) Hashtbl.t;  (** ppn set: pages in fine-grain mode *)
+  mutable on_smc : smc_hit -> paddr:int -> len:int -> unit;
+      (** CMS handler invoked on an SMC event from the ordered write
+          path; must update protection state so the write can retry *)
+  mutable on_dma_smc : ppn:int -> unit;
+      (** CMS handler for DMA touching a protected page *)
+  mutable write_pass : bool;
+      (** one-shot: the SMC handler performs/authorizes the pending
+          write itself; the next protection check is waved through *)
+  mutable page_prot_faults : int;  (** page-level SMC faults taken *)
+  mutable smc_events : int;  (** all SMC events (any granularity) *)
+  mutable dma_smc_events : int;
+}
+
+let create ?(ram_size = 16 * 1024 * 1024) ?(fg_capacity = 8) () =
+  let phys = Phys.create ram_size in
+  {
+    phys;
+    mmu = Mmu.create ();
+    bus = Bus.create phys;
+    fg = Finegrain.create ~capacity:fg_capacity ();
+    fg_enabled = true;
+    protected_pages = Hashtbl.create 64;
+    fg_pages = Hashtbl.create 16;
+    on_smc = (fun _ ~paddr:_ ~len:_ -> ());
+    on_dma_smc = (fun ~ppn:_ -> ());
+    write_pass = false;
+    page_prot_faults = 0;
+    smc_events = 0;
+    dma_smc_events = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Protection state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ppn_of paddr = paddr lsr Mmu.page_shift
+
+let protect_page t ~ppn = Hashtbl.replace t.protected_pages ppn ()
+
+let unprotect_page t ~ppn =
+  Hashtbl.remove t.protected_pages ppn;
+  Hashtbl.remove t.fg_pages ppn;
+  Finegrain.invalidate t.fg ~ppn
+
+let is_protected t ~ppn = Hashtbl.mem t.protected_pages ppn
+
+let set_fg_mode t ~ppn on =
+  if on && t.fg_enabled then Hashtbl.replace t.fg_pages ppn ()
+  else begin
+    Hashtbl.remove t.fg_pages ppn;
+    Finegrain.invalidate t.fg ~ppn
+  end
+
+let in_fg_mode t ~ppn = Hashtbl.mem t.fg_pages ppn
+
+(** Hardware-side protection check for a store to physical [paddr].
+    Returns [None] when the store may proceed. *)
+let check_store t ~paddr ~len =
+  let ppn = ppn_of paddr in
+  if t.write_pass then begin
+    t.write_pass <- false;
+    None
+  end
+  else if not (Hashtbl.mem t.protected_pages ppn) then None
+  else if t.fg_enabled && Hashtbl.mem t.fg_pages ppn then
+    match Finegrain.check t.fg ~paddr ~len with
+    | Finegrain.Clear -> None
+    | Finegrain.Miss -> Some Fg_miss
+    | Finegrain.Protected_chunk -> Some Fg_chunk
+  else Some Page_level
+
+let note_smc t hit =
+  t.smc_events <- t.smc_events + 1;
+  if hit = Page_level then t.page_prot_faults <- t.page_prot_faults + 1
+
+(* ------------------------------------------------------------------ *)
+(* Guest accessors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let page_room vaddr = Mmu.page_size - (vaddr land Mmu.page_mask)
+
+(** Guest read of [size] in {1,4} bytes at linear [vaddr]. *)
+let rec read t ~size vaddr =
+  if size <= page_room vaddr then
+    let paddr = Mmu.translate t.mmu Mmu.Read vaddr in
+    Bus.read t.bus paddr size
+  else
+    (* crosses a page: assemble bytewise *)
+    let v = ref 0 in
+    for i = 0 to size - 1 do
+      v := !v lor (read t ~size:1 (vaddr + i) lsl (8 * i))
+    done;
+    !v
+
+(** Physical write that has already passed (or bypassed) protection. *)
+let write_phys_nocheck t ~size paddr v = Bus.write t.bus paddr size v
+
+(** Ordered guest write: translates, runs the SMC protection loop
+    (invoking the CMS handler until the write is allowed), then stores. *)
+let rec write t ~size vaddr v =
+  if size <= page_room vaddr then begin
+    let paddr = Mmu.translate t.mmu Mmu.Write vaddr in
+    let rec attempt tries =
+      if tries > 8 then raise (Smc_stuck paddr);
+      match check_store t ~paddr ~len:size with
+      | None -> Bus.write t.bus paddr size v
+      | Some hit ->
+          note_smc t hit;
+          t.on_smc hit ~paddr ~len:size;
+          attempt (tries + 1)
+    in
+    attempt 0
+  end
+  else
+    for i = 0 to size - 1 do
+      write t ~size:1 (vaddr + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+(** Instruction fetch of one byte (Exec access). *)
+let fetch8 t vaddr =
+  let paddr = Mmu.translate t.mmu Mmu.Exec vaddr in
+  Bus.read t.bus paddr 1
+
+(** Snapshot [len] code bytes starting at linear [addr] (used for
+    translation-time source capture and self-checking). *)
+let read_code t ~addr ~len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set b i (Char.chr (fetch8 t (addr + i)))
+  done;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* DMA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** DMA store into physical memory.  Protected pages get the coarse
+    treatment the paper describes: notify CMS (which invalidates every
+    translation on the page and unprotects it), then write. *)
+let dma_write t paddr data =
+  let len = Bytes.length data in
+  let first = ppn_of paddr and last = ppn_of (paddr + len - 1) in
+  for ppn = first to last do
+    if is_protected t ~ppn then begin
+      t.dma_smc_events <- t.dma_smc_events + 1;
+      t.on_dma_smc ~ppn
+    end
+  done;
+  Phys.blit_bytes t.phys ~addr:paddr data
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Place an assembled listing into RAM at its base address (physical =
+    linear for loading; the workload's page tables control the rest). *)
+let load_listing t (l : X86.Asm.listing) =
+  Phys.blit_bytes t.phys ~addr:l.X86.Asm.base l.X86.Asm.image

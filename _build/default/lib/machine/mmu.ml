@@ -1,0 +1,73 @@
+(** Paging MMU for the guest's linear address space.
+
+    A single-level software page table maps 4 KiB virtual pages to
+    physical pages with present/writable attributes.  Translation
+    failures raise the guest-visible [X86.Exn.Fault (PF _)] — precisely
+    the fault the CMS interpreter must reproduce at the right
+    instruction boundary. *)
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let page_mask = page_size - 1
+
+type entry = { mutable ppn : int; mutable present : bool; mutable writable : bool }
+
+type t = {
+  table : (int, entry) Hashtbl.t;  (** vpn -> entry *)
+  mutable enabled : bool;
+      (** when disabled, virtual = physical (boot-time identity) *)
+}
+
+type access = Read | Write | Exec
+
+let create () = { table = Hashtbl.create 256; enabled = true }
+
+let map t ~virt ~phys ~writable =
+  let vpn = virt lsr page_shift and ppn = phys lsr page_shift in
+  match Hashtbl.find_opt t.table vpn with
+  | Some e ->
+      e.ppn <- ppn;
+      e.present <- true;
+      e.writable <- writable
+  | None -> Hashtbl.add t.table vpn { ppn; present = true; writable }
+
+(** Identity-map [pages] pages starting at [virt]. *)
+let map_identity t ~virt ~pages ~writable =
+  for i = 0 to pages - 1 do
+    let a = virt + (i lsl page_shift) in
+    map t ~virt:a ~phys:a ~writable
+  done
+
+let unmap t ~virt =
+  match Hashtbl.find_opt t.table (virt lsr page_shift) with
+  | Some e -> e.present <- false
+  | None -> ()
+
+let set_writable t ~virt w =
+  match Hashtbl.find_opt t.table (virt lsr page_shift) with
+  | Some e -> e.writable <- w
+  | None -> ()
+
+let fault addr access present =
+  raise
+    (X86.Exn.Fault
+       (X86.Exn.PF { addr; write = (access = Write); present }))
+
+(** Translate a linear address; raises #PF on miss or write-protection. *)
+let translate t access vaddr =
+  let vaddr = vaddr land 0xffffffff in
+  if not t.enabled then vaddr
+  else
+    match Hashtbl.find_opt t.table (vaddr lsr page_shift) with
+    | None -> fault vaddr access false
+    | Some e ->
+        if not e.present then fault vaddr access false
+        else if access = Write && not e.writable then fault vaddr access true
+        else (e.ppn lsl page_shift) lor (vaddr land page_mask)
+
+(** Translation that reports failure rather than raising; used by the
+    translator to probe whether speculation assumptions can be checked. *)
+let translate_opt t access vaddr =
+  match translate t access vaddr with
+  | p -> Some p
+  | exception X86.Exn.Fault _ -> None

@@ -1,0 +1,34 @@
+(** Flat physical RAM.
+
+    Little-endian byte-addressed storage.  All multi-byte accessors mask
+    their results/arguments to the access width; addresses are plain ints
+    (the machine is well under 2^62 bytes). *)
+
+type t = { data : Bytes.t; size : int }
+
+let create size = { data = Bytes.make size '\x00'; size }
+
+let in_range t addr len = addr >= 0 && addr + len <= t.size
+
+let read8 t addr = Char.code (Bytes.unsafe_get t.data addr)
+
+let write8 t addr v = Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xff))
+
+let read32 t addr =
+  if addr + 4 <= t.size then
+    (* fast path *)
+    Int32.to_int (Bytes.get_int32_le t.data addr) land 0xffffffff
+  else invalid_arg "Phys.read32: out of range"
+
+let write32 t addr v =
+  if addr + 4 <= t.size then Bytes.set_int32_le t.data addr (Int32.of_int v)
+  else invalid_arg "Phys.write32: out of range"
+
+(** Copy a byte string into RAM (used to load program images). *)
+let blit_string t ~addr s =
+  Bytes.blit_string s 0 t.data addr (String.length s)
+
+let blit_bytes t ~addr b = Bytes.blit b 0 t.data addr (Bytes.length b)
+
+(** Read [len] raw bytes (used for translation-time source snapshots). *)
+let read_bytes t ~addr ~len = Bytes.sub t.data addr len

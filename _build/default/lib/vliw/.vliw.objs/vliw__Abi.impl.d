@@ -1,0 +1,1 @@
+lib/vliw/abi.ml: X86

@@ -1,0 +1,1 @@
+lib/vliw/alias.ml: Array

@@ -1,0 +1,1 @@
+lib/vliw/atom.ml: Fmt X86

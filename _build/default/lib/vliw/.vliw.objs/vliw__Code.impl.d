@@ -1,0 +1,1 @@
+lib/vliw/code.ml: Array Atom Fmt Molecule String

@@ -1,0 +1,1 @@
+lib/vliw/exec.ml: Abi Alias Array Atom Code Fmt List Machine Molecule Nexn Perf Regfile Storebuf Sys X86

@@ -1,0 +1,1 @@
+lib/vliw/molecule.ml: Array Atom Fmt List

@@ -1,0 +1,1 @@
+lib/vliw/nexn.ml: Fmt Machine X86

@@ -1,0 +1,1 @@
+lib/vliw/perf.ml: Fmt

@@ -1,0 +1,1 @@
+lib/vliw/regfile.ml: Abi Array

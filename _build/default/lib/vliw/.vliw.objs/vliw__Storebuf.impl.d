@@ -1,0 +1,1 @@
+lib/vliw/storebuf.ml: List

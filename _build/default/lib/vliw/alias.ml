@@ -1,0 +1,47 @@
+(** The alias hardware (paper §3.5).
+
+    A small set of slots, each protecting a physical byte range.  The
+    translator explicitly arms a slot from a reordered load and marks
+    the stores it was hoisted above with a check mask; the hardware
+    compares every checked access against the armed ranges and faults on
+    overlap.  Much simpler than a memory conflict buffer or the IA-64
+    ALAT: the translator, not the hardware, decides what to track —
+    exactly the paper's point. *)
+
+type t = {
+  slots : (int * int) option array;  (** [lo, hi) per armed slot *)
+  mutable violations : int;
+  mutable checks : int;
+  mutable arms : int;
+}
+
+let create ?(slots = 8) () =
+  { slots = Array.make slots None; violations = 0; checks = 0; arms = 0 }
+
+let num_slots t = Array.length t.slots
+
+let arm t ~slot ~paddr ~len =
+  t.arms <- t.arms + 1;
+  t.slots.(slot) <- Some (paddr, paddr + len)
+
+(** Check a range against every slot in [mask]; returns the first
+    overlapping slot. *)
+let check t ~mask ~paddr ~len =
+  t.checks <- t.checks + 1;
+  let lo = paddr and hi = paddr + len in
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then None
+    else if mask land (1 lsl i) <> 0 then
+      match t.slots.(i) with
+      | Some (slo, shi) when lo < shi && slo < hi ->
+          t.violations <- t.violations + 1;
+          Some i
+      | _ -> go (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+(** Disarm everything; done at commit and rollback boundaries (alias
+    protection never outlives a translation window). *)
+let clear t = Array.fill t.slots 0 (Array.length t.slots) None

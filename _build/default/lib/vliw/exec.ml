@@ -1,0 +1,378 @@
+(** The VLIW execution engine.
+
+    Executes a {!Code.t} block against the shadowed register file, the
+    gated store buffer, the alias hardware and the guest memory system.
+    Semantics follow the hardware model:
+
+    - atoms within a molecule execute in parallel (reads see
+      pre-molecule state; register writes and store-buffer pushes land
+      at molecule end);
+    - a faulting atom aborts its molecule with a native exception and
+      leaves all state to be rolled back by CMS;
+    - loads observe buffered stores (store-to-load forwarding);
+    - commits are free (the paper's design goal), rollbacks cost a
+      couple of branch-misprediction-equivalents, charged by CMS.
+
+    Two debug interlocks catch code-generator bugs that real hardware
+    would turn into silent wrong answers: molecule issue-constraint
+    checking and operation-latency enforcement (the TM5800 has almost no
+    hardware interlocks — "CMS guarantees correct operation by careful
+    scheduling"). *)
+
+type t = {
+  regs : Regfile.t;
+  sbuf : Storebuf.t;
+  alias : Alias.t;
+  mem : Machine.Mem.t;
+  perf : Perf.t;
+  mutable validate : bool;  (** check molecule constraints while executing *)
+  mutable enforce_latency : bool;
+  ready : int array;  (** per-register ready time (debug interlock) *)
+  mutable max_molecules_per_run : int;
+}
+
+let create ?(sbuf_capacity = 64) ?(alias_slots = 8) mem =
+  {
+    regs = Regfile.create ();
+    sbuf = Storebuf.create ~capacity:sbuf_capacity ();
+    alias = Alias.create ~slots:alias_slots ();
+    mem;
+    perf = Perf.create ();
+    validate = false;
+    enforce_latency = false;
+    ready = Array.make Abi.num_regs 0;
+    max_molecules_per_run = 50_000_000;
+  }
+
+type outcome =
+  | Exited of int  (** left through exit-table entry i *)
+  | Faulted of Nexn.t
+  | Interrupted  (** pending interrupt sampled between molecules *)
+  | Runaway  (** exceeded the per-run molecule budget (internal guard) *)
+
+exception Fault_ of Nexn.t
+
+let fault n = raise (Fault_ n)
+
+(* Effects staged during a molecule, applied at molecule end. *)
+type effect_ =
+  | Wreg of int * int
+  | Push of { paddr : int; size : int; value : int }
+  | Goto of int
+  | Take_exit of int
+  | Do_commit of int
+
+let mask32 v = v land 0xffffffff
+let sext32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let rollback t =
+  Regfile.rollback t.regs;
+  Storebuf.rollback t.sbuf;
+  Alias.clear t.alias;
+  t.perf.Perf.rollbacks <- t.perf.Perf.rollbacks + 1
+
+let commit t =
+  Regfile.commit t.regs;
+  Storebuf.commit t.sbuf ~mem_write:(Machine.Bus.write t.mem.Machine.Mem.bus);
+  Alias.clear t.alias;
+  t.perf.Perf.commits <- t.perf.Perf.commits + 1
+
+(* ------------------------------------------------------------------ *)
+(* Memory access helpers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let translate t access vaddr =
+  match Machine.Mmu.translate t.mem.Machine.Mem.mmu access vaddr with
+  | paddr -> paddr
+  | exception X86.Exn.Fault f ->
+      t.perf.Perf.x86_fault_atoms <- t.perf.Perf.x86_fault_atoms + 1;
+      fault (Nexn.X86_fault f)
+
+let read_mem t paddr size =
+  Storebuf.read t.sbuf
+    ~mem_read:(Machine.Bus.read t.mem.Machine.Mem.bus)
+    ~paddr ~size
+
+(* A load or store may cross a page boundary; physical ranges are then
+   discontiguous, so process per byte in that (rare) case. *)
+let rec do_load t ~vaddr ~size ~spec ~protect =
+  if size <= Machine.Mem.page_room vaddr then begin
+    let paddr = translate t Machine.Mmu.Read vaddr in
+    if spec && Machine.Bus.is_mmio t.mem.Machine.Mem.bus paddr then begin
+      t.perf.Perf.mmio_spec_faults <- t.perf.Perf.mmio_spec_faults + 1;
+      fault (Nexn.Mmio_spec paddr)
+    end;
+    (match protect with
+    | Some slot -> Alias.arm t.alias ~slot ~paddr ~len:size
+    | None -> ());
+    read_mem t paddr size
+  end
+  else begin
+    let v = ref 0 in
+    for i = 0 to size - 1 do
+      v := !v lor (do_load t ~vaddr:(vaddr + i) ~size:1 ~spec ~protect lsl (8 * i))
+    done;
+    !v
+  end
+
+(* Stores only *stage* pushes; the push itself happens at molecule end.
+   All faulting checks happen here, at issue. *)
+let rec stage_store t ~vaddr ~size ~value ~spec ~check acc =
+  if size <= Machine.Mem.page_room vaddr then begin
+    let paddr = translate t Machine.Mmu.Write vaddr in
+    if spec && Machine.Bus.is_mmio t.mem.Machine.Mem.bus paddr then begin
+      t.perf.Perf.mmio_spec_faults <- t.perf.Perf.mmio_spec_faults + 1;
+      fault (Nexn.Mmio_spec paddr)
+    end;
+    if check <> 0 then (
+      match Alias.check t.alias ~mask:check ~paddr ~len:size with
+      | Some slot ->
+          t.perf.Perf.alias_faults <- t.perf.Perf.alias_faults + 1;
+          if Sys.getenv_opt "CMS_DEBUG_FAULTS" <> None then
+            Fmt.epr "[alias hw] store paddr=%#x len=%d mask=%#x hit slot %d range=%s@."
+              paddr size check slot
+              (match t.alias.Alias.slots.(slot) with
+               | Some (lo, hi) -> Fmt.str "[%#x,%#x)" lo hi
+               | None -> "-");
+          fault (Nexn.Alias_violation slot)
+      | None -> ());
+    (match Machine.Mem.check_store t.mem ~paddr ~len:size with
+    | Some hit ->
+        t.perf.Perf.smc_faults <- t.perf.Perf.smc_faults + 1;
+        fault (Nexn.Smc (hit, paddr))
+    | None -> ());
+    Push { paddr; size; value } :: acc
+  end
+  else begin
+    let acc = ref acc in
+    for i = 0 to size - 1 do
+      acc :=
+        stage_store t
+          ~vaddr:(vaddr + i)
+          ~size:1
+          ~value:((value lsr (8 * i)) land 0xff)
+          ~spec ~check !acc
+    done;
+    !acc
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Atom evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let host_alu op a b =
+  match op with
+  | Atom.HAdd -> mask32 (a + b)
+  | HSub -> mask32 (a - b)
+  | HAnd -> a land b
+  | HOr -> a lor b
+  | HXor -> a lxor b
+  | HShl -> mask32 (a lsl (b land 31))
+  | HShr -> a lsr (b land 31)
+  | HSar -> mask32 (sext32 a asr (b land 31))
+  | HMul -> mask32 (a * b)
+
+let eval_xop op size fl a b =
+  let open X86.Flags in
+  match op with
+  | Atom.XAdd -> add size fl a b
+  | XAdc -> adc size fl a b
+  | XSub -> sub size fl a b
+  | XSbb -> sbb size fl a b
+  | XAnd -> and_ size fl a b
+  | XOr -> or_ size fl a b
+  | XXor -> xor size fl a b
+  | XShl -> shl size fl a b
+  | XShr -> shr size fl a b
+  | XSar -> sar size fl a b
+  | XRol -> rol size fl a b
+  | XRor -> ror size fl a b
+  | XInc -> inc size fl a
+  | XDec -> dec size fl a
+  | XNeg -> neg size fl a
+  | XNot -> (trunc size (lnot a), fl)
+  | XTest -> (0, test size fl a b)
+  | XCmp -> (0, cmp size fl a b)
+
+let eval_cmp cmp a b =
+  match cmp with
+  | Atom.Ceq -> a = b
+  | Cne -> a <> b
+  | Cult -> a < b (* both masked unsigned *)
+  | Cule -> a <= b
+  | Cslt -> sext32 a < sext32 b
+  | Csle -> sext32 a <= sext32 b
+
+(* ------------------------------------------------------------------ *)
+(* The main loop                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_uses t idx atom =
+  List.iter
+    (fun r ->
+      if t.ready.(r) > idx then
+        failwith
+          (Fmt.str "latency violation: r%d used at %d, ready at %d (%a)" r idx
+             t.ready.(r) Atom.pp atom))
+    (Atom.uses atom)
+
+let note_defs t idx atom =
+  let l = Atom.latency atom in
+  List.iter (fun r -> t.ready.(r) <- idx + l) (Atom.defs atom)
+
+(** Execute [code] until an exit, fault, interrupt or the molecule
+    budget.  [irq_pending] is sampled between molecules, modeling
+    asynchronous interrupt arrival (§3.3). *)
+let run ?(irq_pending = fun () -> false) t (code : Code.t) =
+  let get r = Regfile.get t.regs r in
+  let src = function Atom.R r -> get r | Atom.I i -> mask32 i in
+  if t.enforce_latency then Array.fill t.ready 0 Abi.num_regs 0;
+  let budget = ref t.max_molecules_per_run in
+  (* monotonic molecule time; the latency interlock must use time, not
+     the molecule index, or loop back-edges look like violations *)
+  let time = ref 0 in
+  let rec step pc =
+    if !budget <= 0 then Runaway
+    else if irq_pending () then Interrupted
+    else begin
+      decr budget;
+      incr time;
+      let m = code.Code.molecules.(pc) in
+      if t.validate then (
+        match Molecule.check m with
+        | Ok () -> ()
+        | Error e -> failwith (Fmt.str "bad molecule %d: %s" pc e));
+      t.perf.Perf.molecules <- t.perf.Perf.molecules + 1;
+      t.perf.Perf.atoms <- t.perf.Perf.atoms + Array.length m;
+      match exec_molecule !time m with
+      | `Next -> step (pc + 1)
+      | `Goto target -> step target
+      | `Exit i -> Exited i
+      | `Fault n -> Faulted n
+    end
+  and exec_molecule now m =
+    (* Phase 1: evaluate all atoms against pre-molecule state. *)
+    match
+      Array.fold_left
+        (fun effects atom ->
+          if t.enforce_latency then check_uses t now atom;
+          let eff =
+            match atom with
+            | Atom.Nop ->
+                t.perf.Perf.nops <- t.perf.Perf.nops + 1;
+                []
+            | MovI { rd; imm } -> [ Wreg (rd, mask32 imm) ]
+            | MovR { rd; rs } -> [ Wreg (rd, get rs) ]
+            | Alu { op; rd; a; b } -> [ Wreg (rd, host_alu op (get a) (src b)) ]
+            | AluX { op; size; rd; a; b; fr; fw } ->
+                let fl_in =
+                  if fr >= 0 && Atom.xop_reads_flags op b then get fr
+                  else X86.Flags.initial
+                in
+                let r, fl = eval_xop op size fl_in (src a) (src b) in
+                let wfl =
+                  match op with
+                  | Atom.XNot -> []
+                  | _ when fw < 0 -> []
+                  | _ -> [ Wreg (fw, fl) ]
+                in
+                (match rd with Some rd -> Wreg (rd, r) :: wfl | None -> wfl)
+            | MulX { signed; size; rd_lo; rd_hi; a = ma; b = mb; fr = _; fw } ->
+                let a = ma and b = mb in
+                let fl_in = X86.Flags.initial in
+                let f = if signed then X86.Flags.imul else X86.Flags.mul in
+                let lo, hi, fl = f size fl_in (src a) (src b) in
+                Wreg (rd_lo, lo)
+                :: ((if fw >= 0 then [ Wreg (fw, fl) ] else [])
+                   @ match rd_hi with Some r -> [ Wreg (r, hi) ] | None -> [])
+            | DivX { signed; size; rd_q; rd_r; hi; lo; divisor } -> (
+                let f = if signed then X86.Flags.idiv else X86.Flags.div in
+                match f size (get hi) (get lo) (src divisor) with
+                | Some (q, r) -> [ Wreg (rd_q, q); Wreg (rd_r, r) ]
+                | None ->
+                    t.perf.Perf.x86_fault_atoms <-
+                      t.perf.Perf.x86_fault_atoms + 1;
+                    fault (Nexn.X86_fault X86.Exn.DE))
+            | SetCond { rd; cond; fr } ->
+                [ Wreg (rd, if X86.Flags.eval_cond cond (get fr) then 1 else 0) ]
+            | ExtField { rd; rs; shift; width; sign } ->
+                let v = (get rs lsr shift) land ((1 lsl width) - 1) in
+                let v =
+                  if sign && v land (1 lsl (width - 1)) <> 0 then
+                    mask32 (v - (1 lsl width))
+                  else v
+                in
+                [ Wreg (rd, v) ]
+            | InsField { rd; rs; shift; width } ->
+                let m = (1 lsl width) - 1 in
+                let v =
+                  get rd land lnot (m lsl shift)
+                  lor ((get rs land m) lsl shift)
+                in
+                [ Wreg (rd, mask32 v) ]
+            | Load { rd; base; disp; size; spec; protect; check = _ } ->
+                t.perf.Perf.loads <- t.perf.Perf.loads + 1;
+                let vaddr = mask32 (get base + disp) in
+                [ Wreg (rd, do_load t ~vaddr ~size ~spec ~protect) ]
+            | Store { rs; base; disp; size; spec; check } ->
+                t.perf.Perf.stores <- t.perf.Perf.stores + 1;
+                let vaddr = mask32 (get base + disp) in
+                stage_store t ~vaddr ~size ~value:(src rs) ~spec ~check []
+            | ArmRange { slot; base; disp; len } ->
+                (* arm immediately (phase 1): in-molecule atom order is
+                   program order, so stores in the same molecule already
+                   see the armed range *)
+                let rec arm vaddr remaining =
+                  if remaining > 0 then begin
+                    let seg = min remaining (Machine.Mem.page_room vaddr) in
+                    let paddr = translate t Machine.Mmu.Read vaddr in
+                    Alias.arm t.alias ~slot ~paddr ~len:seg;
+                    arm (vaddr + seg) (remaining - seg)
+                  end
+                in
+                (* multi-page ranges would need one slot per page; the
+                   code generator splits them, so assert single-page *)
+                arm (mask32 (get base + disp)) len;
+                []
+            | Br { target } -> [ Goto target ]
+            | BrCond { cond; fr; target } ->
+                if X86.Flags.eval_cond cond (get fr) then [ Goto target ]
+                else []
+            | BrCmp { cmp; a; b; target } ->
+                if eval_cmp cmp (get a) (src b) then [ Goto target ] else []
+            | Commit n -> [ Do_commit n ]
+            | Exit i -> [ Take_exit i ]
+          in
+          eff :: effects)
+        [] m
+    with
+    | exception Fault_ n -> `Fault n
+    | effects -> (
+        (* Phase 2: apply. *)
+        let control = ref `Next in
+        List.iter
+          (fun effs ->
+            List.iter
+              (fun eff ->
+                match eff with
+                | Wreg (r, v) -> Regfile.set t.regs r v
+                | Push { paddr; size; value } -> (
+                    match Storebuf.push t.sbuf ~paddr ~size ~value with
+                    | Ok () -> ()
+                    | Error `Overflow ->
+                        t.perf.Perf.sbuf_overflows <-
+                          t.perf.Perf.sbuf_overflows + 1;
+                        control := `Fault Nexn.Sbuf_overflow)
+                | Goto tgt -> control := `Goto tgt
+                | Take_exit i ->
+                    t.perf.Perf.exits_taken <- t.perf.Perf.exits_taken + 1;
+                    control := `Exit i
+                | Do_commit n ->
+                    t.perf.Perf.x86_committed <- t.perf.Perf.x86_committed + n;
+                    commit t)
+              effs)
+          (List.rev effects);
+        if t.enforce_latency then Array.iter (note_defs t now) m;
+        !control)
+  in
+  step 0

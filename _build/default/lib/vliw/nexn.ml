@@ -1,0 +1,32 @@
+(** Native (host-level) exceptions.
+
+    These interrupt a translation and hand control to the CMS runtime;
+    they are implementation artifacts the guest never sees directly.
+    CMS responds with rollback + recovery (paper §3): interpreting the
+    region decides whether a guarded x86 fault was genuine, and the
+    other kinds drive adaptive retranslation. *)
+
+type t =
+  | X86_fault of X86.Exn.fault
+      (** a guarded atom (load/store/div) hit an x86 fault condition;
+          possibly speculative if the atom was reordered *)
+  | Alias_violation of int  (** reordered memory access overlap; slot *)
+  | Mmio_spec of int  (** speculative atom touched I/O space; paddr *)
+  | Smc of Machine.Mem.smc_hit * int
+      (** store hit a protected page; paddr *)
+  | Sbuf_overflow  (** gated store buffer capacity exceeded *)
+
+let pp fmt = function
+  | X86_fault f -> Fmt.pf fmt "x86:%a" X86.Exn.pp f
+  | Alias_violation s -> Fmt.pf fmt "alias(slot %d)" s
+  | Mmio_spec p -> Fmt.pf fmt "mmio-spec(0x%x)" p
+  | Smc (h, p) ->
+      Fmt.pf fmt "smc(%s,0x%x)"
+        (match h with
+        | Machine.Mem.Page_level -> "page"
+        | Fg_miss -> "fg-miss"
+        | Fg_chunk -> "fg-chunk")
+        p
+  | Sbuf_overflow -> Fmt.string fmt "sbuf-overflow"
+
+let to_string n = Fmt.str "%a" pp n

@@ -1,0 +1,50 @@
+(** The shadowed register file (paper §3.1).
+
+    Registers holding x86 state exist in two copies: a working copy that
+    normal atoms update, and a shadow copy that only changes on commit.
+    Rollback copies shadow back to working, undoing everything since the
+    last commit.  Registers at or above [Abi.shadow_count] are plain
+    temporaries. *)
+
+type t = {
+  working : int array;
+  shadow : int array;
+  mutable commits : int;
+  mutable rollbacks : int;
+}
+
+let create () =
+  {
+    working = Array.make Abi.num_regs 0;
+    shadow = Array.make Abi.num_regs 0;
+    commits = 0;
+    rollbacks = 0;
+  }
+
+let get t r = t.working.(r)
+let set t r v = t.working.(r) <- v land 0xffffffff
+
+(** Committed (shadow) value — what the x86 state officially is. *)
+let get_committed t r = t.shadow.(r)
+
+(** Set both copies; used when CMS updates x86 state at a known-
+    consistent boundary (e.g. the interpreter, or exception delivery). *)
+let set_committed t r v =
+  let v = v land 0xffffffff in
+  t.working.(r) <- v;
+  t.shadow.(r) <- v
+
+let commit t =
+  Array.blit t.working 0 t.shadow 0 Abi.shadow_count;
+  t.commits <- t.commits + 1
+
+let rollback t =
+  Array.blit t.shadow 0 t.working 0 Abi.shadow_count;
+  t.rollbacks <- t.rollbacks + 1
+
+(** Is the working x86 state identical to the committed state? *)
+let consistent t =
+  let rec go i =
+    i >= Abi.shadow_count || (t.working.(i) = t.shadow.(i) && go (i + 1))
+  in
+  go 0

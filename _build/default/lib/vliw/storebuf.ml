@@ -1,0 +1,92 @@
+(** The gated store buffer (paper §3.1, patent [27]).
+
+    Translated stores are held here and released to the memory system in
+    program order only at commit; a rollback simply drops them.  Loads
+    executed while stores are buffered must observe them, so the read
+    path overlays buffered bytes on top of memory (store-to-load
+    forwarding, byte-accurate for partial overlaps).
+
+    The buffer is finite: overflow raises a native fault that makes CMS
+    retranslate with shorter regions — a real constraint on translation
+    size. *)
+
+type entry = { paddr : int; size : int; value : int }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list;  (** newest first *)
+  mutable count : int;
+  mutable total_buffered : int;
+  mutable total_committed : int;
+  mutable total_dropped : int;
+  mutable overflows : int;
+}
+
+let create ?(capacity = 64) () =
+  {
+    capacity;
+    entries = [];
+    count = 0;
+    total_buffered = 0;
+    total_committed = 0;
+    total_dropped = 0;
+    overflows = 0;
+  }
+
+let is_empty t = t.entries = []
+
+(** Buffer a store; [Error `Overflow] if the buffer is full. *)
+let push t ~paddr ~size ~value =
+  if t.count >= t.capacity then begin
+    t.overflows <- t.overflows + 1;
+    Error `Overflow
+  end
+  else begin
+    t.entries <- { paddr; size; value } :: t.entries;
+    t.count <- t.count + 1;
+    t.total_buffered <- t.total_buffered + 1;
+    Ok ()
+  end
+
+(** Byte at [addr] as seen through the buffer, if any entry covers it. *)
+let forwarded_byte t addr =
+  let rec find = function
+    | [] -> None
+    | { paddr; size; value } :: rest ->
+        if addr >= paddr && addr < paddr + size then
+          Some ((value lsr (8 * (addr - paddr))) land 0xff)
+        else find rest
+  in
+  find t.entries
+
+(** Read [size] bytes at [paddr], taking each byte from the youngest
+    covering buffered store, or from [mem_read] otherwise. *)
+let read t ~mem_read ~paddr ~size =
+  if t.entries = [] then mem_read paddr size
+  else begin
+    let v = ref 0 in
+    for i = 0 to size - 1 do
+      let byte =
+        match forwarded_byte t (paddr + i) with
+        | Some b -> b
+        | None -> mem_read (paddr + i) 1
+      in
+      v := !v lor (byte lsl (8 * i))
+    done;
+    !v
+  end
+
+(** Release all buffered stores to memory in program (FIFO) order. *)
+let commit t ~mem_write =
+  List.iter
+    (fun { paddr; size; value } -> mem_write paddr size value)
+    (List.rev t.entries);
+  t.total_committed <- t.total_committed + t.count;
+  t.entries <- [];
+  t.count <- 0
+
+(** Drop everything (rollback). *)
+let rollback t =
+  t.total_dropped <- t.total_dropped + t.count;
+  t.entries <- [];
+  t.count <- 0

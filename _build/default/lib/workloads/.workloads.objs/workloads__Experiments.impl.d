@@ -1,0 +1,1 @@
+lib/workloads/experiments.ml: Cms Fmt List Machine Progs_apps Progs_boot Progs_quake Progs_spec Suite

@@ -1,0 +1,1 @@
+lib/workloads/progs_apps.ml: Buffer Char Suite X86

@@ -1,0 +1,1 @@
+lib/workloads/progs_boot.ml: Buffer Bytes Char Fmt List Machine String Suite X86

@@ -1,0 +1,1 @@
+lib/workloads/progs_quake.ml: Fmt List Machine Progs_boot Suite X86

@@ -1,0 +1,1 @@
+lib/workloads/progs_spec.ml: Suite X86

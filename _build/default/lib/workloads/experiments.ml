@@ -1,0 +1,362 @@
+(** Experiment harness: regenerates every table and figure of the
+    paper's evaluation (see DESIGN.md experiment index).
+
+    Each experiment returns typed rows and can render itself as text in
+    the shape the paper reports (per-benchmark percentages plus means
+    for the figures; ratio columns for Table 1). *)
+
+let boots () = Progs_boot.all
+let apps () = Progs_spec.all @ Progs_apps.all @ [ Progs_quake.quake ]
+
+let default_cfg = Cms.Config.default
+
+let geo_mean = function
+  | [] -> 0.0
+  | xs ->
+      (* arithmetic mean, like the paper's "Mean" rows *)
+      List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 and 3: degradation without reordering / alias hardware    *)
+(* ------------------------------------------------------------------ *)
+
+type deg_row = { workload : string; kind : Suite.kind; percent : float }
+
+let degradation_experiment ~vs () =
+  let all = boots () @ apps () in
+  List.map
+    (fun w ->
+      {
+        workload = w.Suite.name;
+        kind = w.Suite.kind;
+        percent = Suite.degradation ~baseline:default_cfg ~vs w;
+      })
+    all
+
+let fig2 () =
+  degradation_experiment
+    ~vs:{ default_cfg with Cms.Config.enable_reorder = false }
+    ()
+
+let fig3 () =
+  degradation_experiment
+    ~vs:{ default_cfg with Cms.Config.enable_alias_hw = false }
+    ()
+
+let pp_degradation ~title fmt rows =
+  Fmt.pf fmt "=== %s ===@." title;
+  let show r = Fmt.pf fmt "  %-28s %6.2f%%@." r.workload r.percent in
+  let bs = List.filter (fun r -> r.kind = Suite.Boot) rows in
+  let as_ = List.filter (fun r -> r.kind = Suite.App) rows in
+  List.iter show bs;
+  Fmt.pf fmt "  %-28s %6.2f%%@." "Mean (all boots)"
+    (geo_mean (List.map (fun r -> r.percent) bs));
+  List.iter show as_;
+  Fmt.pf fmt "  %-28s %6.2f%%@." "Mean (all apps)"
+    (geo_mean (List.map (fun r -> r.percent) as_))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: fine-grain protection                                      *)
+(* ------------------------------------------------------------------ *)
+
+type table1_row = {
+  bench : string;
+  faults_with : int;
+  faults_without : int;
+  fault_ratio : float;
+  mpi_with : float;
+  mpi_without : float;
+  slowdown : float;
+}
+
+let table1_workloads () =
+  [
+    Progs_boot.win95;
+    Progs_boot.win98;
+    Progs_apps.multimedia;
+    (* "WinStone Corel" stand-in: the Winstone productivity app with the
+       most mixed-page traffic in our suite *)
+    Progs_apps.quattro;
+    Progs_quake.quake;
+  ]
+
+(* The table isolates the fine-grain protection hardware: the adaptive
+   SMC ladder (self-reval/self-check) is held off in both configs, as
+   in the paper's comparison, otherwise the ladder rescues the
+   page-granularity configuration and hides the contrast. *)
+let table1 () =
+  let base =
+    {
+      default_cfg with
+      Cms.Config.enable_self_reval = false;
+      enable_self_check = false;
+      enable_stylized = false;
+      enable_groups = false;
+    }
+  in
+  List.map
+    (fun w ->
+      let t_fg = Suite.run ~cfg:base w in
+      let t_nofg =
+        Suite.run ~cfg:{ base with Cms.Config.enable_fine_grain = false } w
+      in
+      let f_with = (Cms.mem t_fg).Machine.Mem.smc_events
+      and f_without = (Cms.mem t_nofg).Machine.Mem.smc_events in
+      {
+        bench = w.Suite.name;
+        faults_with = f_with;
+        faults_without = f_without;
+        fault_ratio = float_of_int f_without /. float_of_int (max 1 f_with);
+        mpi_with = Cms.mpi t_fg;
+        mpi_without = Cms.mpi t_nofg;
+        slowdown = Cms.mpi t_nofg /. Cms.mpi t_fg;
+      })
+    (table1_workloads ())
+
+let pp_table1 fmt rows =
+  Fmt.pf fmt "=== Table 1: Slowdown Without Fine-Grain Protection ===@.";
+  Fmt.pf fmt "  %-28s %10s %10s %8s %9s@." "" "faults+fg" "faults-fg"
+    "ratio" "slowdown";
+  List.iter
+    (fun r ->
+      Fmt.pf fmt "  %-28s %10d %10d %7.1fx %8.2fx@." r.bench r.faults_with
+        r.faults_without r.fault_ratio r.slowdown)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* §3.6.3: cost of forcing all translations self-checking              *)
+(* ------------------------------------------------------------------ *)
+
+type selfcheck_row = {
+  sc_bench : string;
+  code_growth : float;  (** percent *)
+  molecule_growth : float;  (** percent *)
+}
+
+let selfcheck () =
+  let all = boots () @ apps () in
+  List.map
+    (fun w ->
+      let base = Suite.run ~cfg:default_cfg w in
+      let sc =
+        Suite.run
+          ~cfg:{ default_cfg with Cms.Config.force_self_check = true }
+          w
+      in
+      let code t =
+        let s = Cms.stats t in
+        float_of_int s.Cms.Stats.translated_atoms
+        /. float_of_int (max 1 s.Cms.Stats.insns_translated)
+      in
+      {
+        sc_bench = w.Suite.name;
+        code_growth = ((code sc /. code base) -. 1.0) *. 100.0;
+        molecule_growth =
+          ((Cms.mpi sc /. Cms.mpi base) -. 1.0) *. 100.0;
+      })
+    all
+
+let pp_selfcheck fmt rows =
+  Fmt.pf fmt "=== Self-checking translations (force all, §3.6.3) ===@.";
+  Fmt.pf fmt "  %-28s %12s %14s@." "" "code growth" "molecule growth";
+  List.iter
+    (fun r ->
+      Fmt.pf fmt "  %-28s %11.1f%% %13.1f%%@." r.sc_bench r.code_growth
+        r.molecule_growth)
+    rows;
+  Fmt.pf fmt "  %-28s %11.1f%% %13.1f%%@." "Mean"
+    (geo_mean (List.map (fun r -> r.code_growth) rows))
+    (geo_mean (List.map (fun r -> r.molecule_growth) rows))
+
+(* ------------------------------------------------------------------ *)
+(* §3.6.2: self-revalidation frame-rate benefit on Quake               *)
+(* ------------------------------------------------------------------ *)
+
+type selfreval_result = {
+  fps_with : float;  (** steady-state frames per million molecules *)
+  fps_without : float;
+  improvement : float;  (** percent *)
+  reval_hits : int;
+  faults_with : int;  (** steady-state SMC fault events *)
+  faults_without : int;
+}
+
+(* Steady-state measurement: let the adaptive ladder converge over the
+   first third of the demo, then measure frames per molecule (and fault
+   traffic) over the remainder — the regime the paper's minutes-long
+   demo run lives in. *)
+let steady_quake cfg =
+  let w = Progs_quake.quake in
+  let t = Cms.create ~cfg ?disk_image:w.Suite.disk_image () in
+  Cms.load t w.Suite.listing;
+  Cms.boot ~map_mib:4 t ~entry:w.Suite.entry;
+  let rec until_frames n =
+    if Cms.frames t < n then begin
+      match Cms.run ~max_insns:(Cms.retired t + 200_000) t with
+      | Cms.Engine.Halted -> ()
+      | Cms.Engine.Insn_limit -> until_frames n
+    end
+  in
+  until_frames 20;
+  let m0 = Cms.total_molecules t and f0 = Cms.frames t in
+  let sm0 = (Cms.mem t).Machine.Mem.smc_events in
+  until_frames 60;
+  let dm = Cms.total_molecules t - m0 and df = Cms.frames t - f0 in
+  let faults = (Cms.mem t).Machine.Mem.smc_events - sm0 in
+  ( float_of_int df /. (float_of_int (max 1 dm) /. 1_000_000.),
+    faults,
+    (Cms.stats t).Cms.Stats.reval_hits )
+
+let selfreval () =
+  let f_with, faults_with, reval_hits = steady_quake default_cfg in
+  let f_without, faults_without, _ =
+    steady_quake { default_cfg with Cms.Config.enable_self_reval = false }
+  in
+  {
+    fps_with = f_with;
+    fps_without = f_without;
+    improvement = ((f_with /. f_without) -. 1.0) *. 100.0;
+    reval_hits;
+    faults_with;
+    faults_without;
+  }
+
+let pp_selfreval fmt r =
+  Fmt.pf fmt "=== Self-revalidation ladder on Quake Demo2 (§3.6.2) ===@.";
+  Fmt.pf fmt
+    "  steady-state frames/Mmolecule with: %.2f, without: %.2f  (%+.0f%%)@."
+    r.fps_with r.fps_without r.improvement;
+  Fmt.pf fmt
+    "  steady-state SMC faults with: %d, without: %d;  %d revalidations \
+     during warmup@."
+    r.faults_with r.faults_without r.reval_hits
+
+(* ------------------------------------------------------------------ *)
+(* §3.6.5: translation groups on the BLT-driver pattern                *)
+(* ------------------------------------------------------------------ *)
+
+type groups_result = {
+  translations_with : int;
+  translations_without : int;
+  group_hits : int;
+  mpi_groups_with : float;
+  mpi_groups_without : float;
+}
+
+let groups () =
+  let w = Progs_quake.blt_driver ~versions:8 ~installs:48 ~pixels:300 () in
+  let t_with = Suite.run ~cfg:default_cfg w in
+  let t_without =
+    Suite.run ~cfg:{ default_cfg with Cms.Config.enable_groups = false } w
+  in
+  {
+    translations_with = (Cms.stats t_with).Cms.Stats.translations;
+    translations_without = (Cms.stats t_without).Cms.Stats.translations;
+    group_hits = (Cms.stats t_with).Cms.Stats.group_hits;
+    mpi_groups_with = Cms.mpi t_with;
+    mpi_groups_without = Cms.mpi t_without;
+  }
+
+let pp_groups fmt r =
+  Fmt.pf fmt "=== Translation groups on the BLT driver (§3.6.5) ===@.";
+  Fmt.pf fmt
+    "  translations: %d with groups (%d group hits) vs %d without; mpi %.1f \
+     vs %.1f@."
+    r.translations_with r.group_hits r.translations_without r.mpi_groups_with
+    r.mpi_groups_without
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 in numbers: interpret -> translate -> chain                *)
+(* ------------------------------------------------------------------ *)
+
+type flow_row = {
+  fl_bench : string;
+  retired_interp : int;
+  retired_translated : int;
+  translated_frac : float;
+  translations : int;
+  chain_patches : int;
+  lookups : int;
+}
+
+let flow () =
+  List.map
+    (fun w ->
+      let t = Suite.run ~cfg:default_cfg w in
+      let s = Cms.stats t in
+      let it = s.Cms.Stats.x86_interp and tr = s.Cms.Stats.x86_translated in
+      {
+        fl_bench = w.Suite.name;
+        retired_interp = it;
+        retired_translated = tr;
+        translated_frac = float_of_int tr /. float_of_int (max 1 (it + tr));
+        translations = s.Cms.Stats.translations;
+        chain_patches = s.Cms.Stats.chain_patches;
+        lookups = s.Cms.Stats.lookups;
+      })
+    [ Progs_boot.dos; Progs_spec.compress; Progs_quake.quake ]
+
+let pp_flow fmt rows =
+  Fmt.pf fmt "=== Control-flow profile (Figure 1 in numbers) ===@.";
+  Fmt.pf fmt "  %-28s %10s %12s %7s %7s %8s %8s@." "" "interp" "translated"
+    "frac" "xlate" "chains" "lookups";
+  List.iter
+    (fun r ->
+      Fmt.pf fmt "  %-28s %10d %12d %6.1f%% %7d %8d %8d@." r.fl_bench
+        r.retired_interp r.retired_translated (100. *. r.translated_frac)
+        r.translations r.chain_patches r.lookups)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design-choice sweeps beyond the paper                    *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_point = { param : int; mpi_value : float }
+
+let sweep ~name:_ ~points ~cfg_of w =
+  List.map
+    (fun p -> { param = p; mpi_value = Suite.mpi ~cfg:(cfg_of p) w })
+    points
+
+let threshold_sweep () =
+  sweep ~name:"translate threshold"
+    ~points:[ 2; 8; 24; 100; 1000; 100_000 ]
+    ~cfg_of:(fun p -> { default_cfg with Cms.Config.translate_threshold = p })
+    Progs_spec.compress
+
+let region_sweep () =
+  sweep ~name:"max region size"
+    ~points:[ 4; 10; 25; 50; 100; 200 ]
+    ~cfg_of:(fun p -> { default_cfg with Cms.Config.max_region_insns = p })
+    Progs_spec.tomcatv
+
+let alias_slot_sweep () =
+  sweep ~name:"alias slots"
+    ~points:[ 0; 1; 2; 4; 8; 16 ]
+    ~cfg_of:(fun p ->
+      if p = 0 then { default_cfg with Cms.Config.enable_alias_hw = false }
+      else { default_cfg with Cms.Config.alias_slots = p })
+    Progs_spec.compress
+
+let chaining_ablation () =
+  let w = Progs_spec.gcc in
+  [
+    { param = 1; mpi_value = Suite.mpi ~cfg:default_cfg w };
+    {
+      param = 0;
+      mpi_value =
+        Suite.mpi ~cfg:{ default_cfg with Cms.Config.enable_chaining = false } w;
+    };
+  ]
+
+let sbuf_sweep () =
+  sweep ~name:"store buffer capacity"
+    ~points:[ 8; 16; 32; 64; 128 ]
+    ~cfg_of:(fun p -> { default_cfg with Cms.Config.sbuf_capacity = p })
+    Progs_apps.quattro
+
+let pp_sweep ~title ~param_name fmt points =
+  Fmt.pf fmt "=== Ablation: %s ===@." title;
+  List.iter
+    (fun p -> Fmt.pf fmt "  %-24s %8d  mpi=%8.2f@." param_name p.param p.mpi_value)
+    points

@@ -1,0 +1,287 @@
+(** Windows-productivity and synthetic-benchmark style workloads:
+    CPUmark99, MultimediaMark99, Quattro Pro, WordPerfect.  These mirror
+    the mix the paper's figures show for the Winstone/ZD benchmarks:
+    string and dictionary processing, table arithmetic, and media
+    blend/saturate kernels. *)
+
+open X86.Asm
+
+let data = 0x200000
+let data2 = 0x240000
+let dict = 0x280000
+
+let acc v = add_mr (m 0x5100) v
+let init = [ mov_mi (m 0x5100) 0 ]
+let finish = [ mov_rm eax (m 0x5100); hlt ]
+
+let wrap ~name ?(max_insns = 3_000_000) items =
+  Suite.make ~name ~entry:0x10000 ~max_insns
+    (assemble ~base:0x10000 (init @ items @ finish))
+
+(* Deterministic text generator: fills [base..base+len) with words of
+   lowercase letters separated by spaces. *)
+let gen_text ~len ~seed =
+  let b = Buffer.create len in
+  let x = ref seed in
+  while Buffer.length b < len do
+    x := ((!x * 1103515245) + 12345) land 0x3fffffff;
+    let wl = 2 + (!x land 7) in
+    for k = 0 to wl - 1 do
+      Buffer.add_char b (Char.chr (97 + ((!x lsr (3 * k)) + k) mod 26))
+    done;
+    Buffer.add_char b ' '
+  done;
+  Buffer.sub b 0 len
+
+(* ------------------------------------------------------------------ *)
+(* CPUmark99: a rotating mix of ALU / branch / memory microkernels     *)
+(* ------------------------------------------------------------------ *)
+
+let cpumark =
+  wrap ~name:"CPUmark99 (Win98)"
+    [
+      mov_ri ebp 300; (* outer rounds through the mix *)
+      mov_ri ebx 0;
+      label "round";
+      (* kernel 1: dependent ALU chain *)
+      mov_ri eax 0x1234;
+      mov_ri ecx 40;
+      label "k1";
+      add_ri eax 0x9e37;
+      rol_ri eax 5;
+      xor_ri eax 0x79b9;
+      dec_r ecx;
+      jne "k1";
+      add_rr ebx eax;
+      (* kernel 2: producer/consumer ping-pong between two buffers —
+         store through EDI, immediately load the next operand through
+         ESI (unprovable aliasing, the alias-hardware pattern) *)
+      mov_ri edi data;
+      mov_ri esi (data + 0x8000);
+      mov_ri ecx 40;
+      label "k2";
+      mov_mr (mb edi) ecx;
+      mov_rm edx (mb esi);
+      add_rr ebx edx;
+      mov_mr (mbd edi 4) ebx;
+      add_rm ebx (mbd esi 4);
+      add_ri edi 16;
+      add_ri esi 16;
+      dec_r ecx;
+      jne "k2";
+      (* kernel 3: branch ladder *)
+      mov_rr eax ebx;
+      and_ri eax 7;
+      cmp_ri eax 3;
+      jb "lt3";
+      je "eq3";
+      add_ri ebx 5;
+      jmp "k3done";
+      label "lt3";
+      add_ri ebx 1;
+      jmp "k3done";
+      label "eq3";
+      add_ri ebx 3;
+      label "k3done";
+      (* kernel 4: multiply/divide *)
+      mov_rr eax ebx;
+      or_ri eax 1;
+      mov_ri edx 0;
+      mov_ri ecx 17;
+      div_r ecx;
+      add_rr ebx edx;
+      dec_r ebp;
+      jne "round";
+      acc ebx;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Quattro Pro: spreadsheet table arithmetic with column walks         *)
+(* ------------------------------------------------------------------ *)
+
+let quattro =
+  wrap ~name:"Quattro Pro (WinNT)"
+    [
+      (* 64x64 table of ints *)
+      mov_ri edi data;
+      mov_ri ecx 4096;
+      mov_ri esi 77;
+      label "qp_fill";
+      mov_ri eax 1103515245;
+      imul_rr esi eax;
+      add_ri esi 54321;
+      mov_rr eax esi;
+      sar_ri eax 8;
+      mov_mr (mb edi) eax;
+      add_ri edi 4;
+      dec_r ecx;
+      jne "qp_fill";
+      (* 30 recalc passes: row sums, column max, running totals *)
+      mov_ri ebp 30;
+      mov_ri ebx 0;
+      label "qp_pass";
+      (* recalc status cells on the code page (mixed page, own chunk) *)
+      inc_m (m 0x10f40);
+      inc_m (m 0x10f44);
+      inc_m (m 0x10f48);
+      inc_m (m 0x10f4c);
+      (* row sums *)
+      mov_ri esi data;
+      mov_ri edx 64; (* rows *)
+      mov_ri edi data2; (* row-totals column *)
+      label "qp_row";
+      mov_ri ecx 16;
+      mov_ri eax 0;
+      label "qp_cell";
+      (* running total written back every step; the next cell loads
+         issue after it through a different base register *)
+      mov_mr (mb edi) eax;
+      add_rm eax (mb esi);
+      add_rm eax (mbd esi 4);
+      add_rm eax (mbd esi 8);
+      add_rm eax (mbd esi 12);
+      add_ri esi 16;
+      dec_r ecx;
+      jne "qp_cell";
+      mov_mr (mb edi) eax;
+      add_ri edi 4;
+      add_rr ebx eax;
+      dec_r edx;
+      jne "qp_row";
+      (* column walk with strided access (cache/scheduler stress) *)
+      mov_ri esi data;
+      mov_ri ecx 64;
+      mov_ri eax 0;
+      label "qp_col";
+      mov_rm edx (mb esi);
+      cmp_rr edx eax;
+      jle "qp_nomax";
+      mov_rr eax edx;
+      label "qp_nomax";
+      add_ri esi 256; (* next row, same column *)
+      dec_r ecx;
+      jne "qp_col";
+      add_rr ebx eax;
+      dec_r ebp;
+      jne "qp_pass";
+      acc ebx;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* WordPerfect: text scanning, word counting, dictionary hashing       *)
+(* ------------------------------------------------------------------ *)
+
+let wordperfect =
+  let text = gen_text ~len:12288 ~seed:4242 in
+  Suite.make ~name:"Wordperfect (WinNT)" ~entry:0x10000 ~max_insns:3_000_000
+    (assemble ~base:0x10000
+       (init
+       @ [
+           (* clear the dictionary *)
+           mov_ri edi dict;
+           mov_ri ecx 4096;
+           mov_ri eax 0;
+           label "wp_clr";
+           mov_mr (mb edi) eax;
+           add_ri edi 4;
+           dec_r ecx;
+           jne "wp_clr";
+           mov_ri ebp 6; (* passes over the document *)
+           mov_ri ebx 0; (* word count *)
+           label "wp_pass";
+           mov_rl esi "wp_text";
+           mov_ri edx 0; (* current word hash *)
+           label "wp_scan";
+           movzx eax (mb esi);
+           inc_r esi;
+           test_rr eax eax;
+           je "wp_eot";
+           cmp_ri eax 32;
+           je "wp_word_end";
+           (* extend hash: h = h*31 + c *)
+           mov_rr ecx edx;
+           shl_ri edx 5;
+           sub_rr edx ecx;
+           add_rr edx eax;
+           jmp "wp_scan";
+           label "wp_word_end";
+           inc_r ebx;
+           (* bump dictionary bucket *)
+           and_ri edx 0xfff;
+           inc_m (m ~index:(edx, 4) dict);
+           mov_ri edx 0;
+           jmp "wp_scan";
+           label "wp_eot";
+           dec_r ebp;
+           jne "wp_pass";
+           (* digest: word count + some buckets *)
+           acc ebx;
+           mov_rm ecx (m (dict + 0x40));
+           acc ecx;
+           mov_rm ecx (m (dict + 0x999 * 4));
+           acc ecx;
+         ]
+       @ finish
+       @ [ label "wp_text"; raw (text ^ "\x00") ]))
+
+(* ------------------------------------------------------------------ *)
+(* MultimediaMark99: blend/saturate over pixel buffers                 *)
+(* ------------------------------------------------------------------ *)
+
+let multimedia =
+  wrap ~name:"Multimedia (Win98)"
+    [
+      (* two "frames" of 16k pixels (bytes) *)
+      mov_ri edi data;
+      mov_ri ecx 8192; (* dwords: two 16K buffers back to back *)
+      mov_ri esi 900;
+      label "mm_fill";
+      mov_ri eax 1103515245;
+      imul_rr esi eax;
+      add_ri esi 12345;
+      mov_rr eax esi;
+      mov_mr (mb edi) eax;
+      add_ri edi 4;
+      dec_r ecx;
+      jne "mm_fill";
+      mov_ri ebp 10; (* frames *)
+      mov_ri ebx 0;
+      label "mm_frame";
+      (* per-frame codec statistics live at the top of the code page
+         (0x10f00-, same page as the hot loops, own 64-byte chunk):
+         page-granular protection faults on every update, fine-grain
+         protection does not — the Table 1 traffic *)
+      inc_m (m 0x10f00);
+      inc_m (m 0x10f04);
+      inc_m (m 0x10f08);
+      inc_m (m 0x10f0c);
+      inc_m (m 0x10f10);
+      inc_m (m 0x10f14);
+      inc_m (m 0x10f18);
+      inc_m (m 0x10f1c);
+      mov_ri esi data;
+      mov_ri edi (data + 16384);
+      mov_ri ecx 16384;
+      label "mm_px";
+      (* byte-wise 50/50 blend with saturation *)
+      movzx eax (mb esi);
+      movzx edx (mb edi);
+      add_rr eax edx;
+      shr_ri eax 1;
+      add_ri eax 8; (* brighten *)
+      cmp_ri eax 255;
+      jbe "mm_nosat";
+      mov_ri eax 255;
+      label "mm_nosat";
+      mov8_mr (mb edi) X86.Regs.eax;
+      add_rr ebx eax;
+      inc_r esi;
+      inc_r edi;
+      dec_r ecx;
+      jne "mm_px";
+      dec_r ebp;
+      jne "mm_frame";
+      acc ebx;
+    ]
+
+let all = [ cpumark; quattro; wordperfect; multimedia ]

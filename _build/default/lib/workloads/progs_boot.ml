@@ -1,0 +1,573 @@
+(** Synthetic OS-boot workloads.
+
+    The paper's boot benchmarks (DOS, Linux, OS/2, Windows 95/98/ME/
+    NT/XP) share a character profile that drives its numbers: large
+    amounts of run-once code, REP-copy relocation, decompression loops,
+    heavy port and memory-mapped I/O while probing devices, BIOS-style
+    pages mixing code with writable data, driver-install-style immediate
+    patching, timer interrupts, and DMA paging traffic.  One
+    parameterized generator reproduces that profile; each boot is an
+    instance with its own mix (e.g. Windows/ME boots are MMIO-heavy,
+    Windows/9X does driver SMC, Linux decompresses a big kernel). *)
+
+open X86.Asm
+
+type profile = {
+  name : string;
+  fb_clear_words : int;  (** memory-mapped I/O intensity *)
+  copy_kb : int;  (** REP MOVSD relocation volume *)
+  decompress_kb : int;  (** RLE "kernel image" size *)
+  unique_blocks : int;  (** run-once code blocks (cold code) *)
+  mixed_sections : int;  (** code pages holding writable counters *)
+  mixed_iters : int;
+  smc_rounds : int;  (** driver-style immediate patching rounds *)
+  hot_loop_iters : int;
+      (** steady-state "kernel services" loop iterations: the hot,
+          translated execution that boots settle into *)
+  timer_period : int;  (** 0 = no timer *)
+  dma_sectors : int;
+  table_words : int;  (** page-table-style data structure init *)
+}
+
+(* Deterministic pseudo-random stream (no external state). *)
+let mix seed i =
+  let x = (seed * 0x9e3779b1) + (i * 0x85ebca6b) in
+  let x = x lxor (x lsr 13) in
+  let x = x * 0xc2b2ae35 land 0x3fffffff in
+  x lxor (x lsr 16)
+
+(* Build an RLE blob: sequences of runs (0x80+n, value) and literals
+   (n, bytes...), terminated by 0. *)
+let rle_blob ~kb ~seed =
+  let buf = Buffer.create (kb * 1024) in
+  let budget = ref (kb * 1024) in
+  let i = ref 0 in
+  while !budget > 8 do
+    incr i;
+    let r = mix seed !i in
+    if r land 1 = 0 then begin
+      (* run: 3..66 repetitions *)
+      let n = 3 + (r lsr 1 land 0x3f) in
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      Buffer.add_char buf (Char.chr (1 + (r lsr 8 land 0x7f)));
+      budget := !budget - 2
+    end
+    else begin
+      (* literal: 1..15 bytes *)
+      let n = 1 + (r lsr 1 land 0xf) in
+      Buffer.add_char buf (Char.chr n);
+      for k = 1 to n do
+        Buffer.add_char buf (Char.chr (1 + (mix seed (!i + (k * 77)) land 0x7e)))
+      done;
+      budget := !budget - n - 1
+    end
+  done;
+  Buffer.add_char buf '\x00';
+  Buffer.contents buf
+
+(* Memory map used by all boots. *)
+let idt = 0x1000
+let idt_ptr = 0x5000
+let checksum_cell = 0x5100
+let jiffies = 0x5200
+let src_region = 0x100000
+let dst_region = 0x140000
+let table_region = 0x180000
+let dma_buffer = 0x1c0000
+
+(* imm32 offset inside the canonical "add eax, imm32" encoding. *)
+let add_eax_imm_off =
+  match (X86.Encode.encode ~at:0 (X86.Insn.Arith (X86.Insn.Add, X86.Insn.S32, X86.Insn.RM_I (X86.Insn.R X86.Regs.eax, 0)))).X86.Encode.imm32_off with
+  | Some o -> o
+  | None -> assert false
+
+let items_of_profile p =
+  let setup =
+    [
+      (* IDT + timer handler *)
+      mov_rl eax "tick_handler";
+      mov_mr (m (idt + (4 * (Machine.Irq.base_vector + Machine.Platform.timer_irq_line)))) eax;
+      mov_rl eax "disk_handler";
+      mov_mr (m (idt + (4 * (Machine.Irq.base_vector + Machine.Platform.disk_irq_line)))) eax;
+      mov_mi (m idt_ptr) idt;
+      lidt (m idt_ptr);
+      mov_mi (m checksum_cell) 0;
+      mov_mi (m jiffies) 0;
+    ]
+    @ (if p.timer_period > 0 then
+         [
+           mov_ri eax (p.timer_period land 0xffff);
+           mov_ri edx Machine.Platform.timer_base;
+           out32_dx;
+           mov_ri eax (p.timer_period lsr 16);
+           mov_ri edx (Machine.Platform.timer_base + 1);
+           out32_dx;
+           sti;
+         ]
+       else [])
+  in
+  let banner =
+    [
+      mov_rl esi "banner_msg";
+      label "banner_loop";
+      movzx eax (mb esi);
+      test_ri eax 0xff;
+      je "banner_done";
+      mov_ri edx Machine.Platform.uart_base;
+      I (X86.Insn.Out (X86.Insn.S8, X86.Insn.PortDx));
+      inc_r esi;
+      jmp "banner_loop";
+      label "banner_done";
+    ]
+  in
+  let fb_probe =
+    if p.fb_clear_words = 0 then []
+    else
+      [
+        (* splash-screen clear: straight MMIO stores *)
+        mov_ri edi Machine.Platform.fb_base;
+        mov_ri ecx p.fb_clear_words;
+        mov_ri eax 0x07200720;
+        label "fb_clear";
+        mov_mr (mb edi) eax;
+        add_ri edi 4;
+        dec_r ecx;
+        jne "fb_clear";
+      ]
+  in
+  let decompress =
+    if p.decompress_kb = 0 then []
+    else
+      [
+        mov_rl esi "kernel_blob";
+        mov_ri edi dst_region;
+        label "d_loop";
+        movzx ebx (mb esi);
+        inc_r esi;
+        test_rr ebx ebx;
+        je "d_done";
+        cmp_ri ebx 0x80;
+        jb "d_literal";
+        sub_ri ebx 0x80;
+        movzx edx (mb esi);
+        inc_r esi;
+        label "d_run";
+        mov8_mr (mb edi) X86.Regs.edx;
+        inc_r edi;
+        dec_r ebx;
+        jne "d_run";
+        jmp "d_loop";
+        label "d_literal";
+        label "d_lit_loop";
+        mov8_rm X86.Regs.eax (mb esi);
+        mov8_mr (mb edi) X86.Regs.eax;
+        inc_r esi;
+        inc_r edi;
+        dec_r ebx;
+        jne "d_lit_loop";
+        jmp "d_loop";
+        label "d_done";
+        (* checksum the decompressed image *)
+        mov_ri esi dst_region;
+        mov_rr ecx edi;
+        sub_rr ecx esi;
+        shr_ri ecx 2;
+        mov_ri eax 0;
+        label "d_sum";
+        add_rm eax (mb esi);
+        add_ri esi 4;
+        dec_r ecx;
+        jne "d_sum";
+        add_mr (m checksum_cell) eax;
+      ]
+  in
+  let relocate =
+    if p.copy_kb = 0 then []
+    else
+      [
+        (* fill then relocate with REP MOVSD *)
+        mov_ri edi src_region;
+        mov_ri ecx (p.copy_kb * 256);
+        mov_ri eax 0x12345678;
+        rep_stosd;
+        mov_ri esi src_region;
+        mov_ri edi (src_region + (p.copy_kb * 1024) + 0x1000);
+        mov_ri ecx (p.copy_kb * 256);
+        rep_movsd;
+        mov_rm eax (m (src_region + (p.copy_kb * 1024) + 0x1000));
+        add_mr (m checksum_cell) eax;
+      ]
+  in
+  let tables =
+    if p.table_words = 0 then []
+    else
+      [
+        (* page-table style init: strided stores with computed values *)
+        mov_ri edi table_region;
+        mov_ri ecx p.table_words;
+        mov_ri ebx 0;
+        label "tbl";
+        mov_rr eax ebx;
+        imul_rm eax (m 0); (* placeholder, replaced by imm variant below *)
+        label "tbl_after_mul";
+        or_ri eax 0x7;
+        mov_mr (mb edi) eax;
+        add_ri edi 4;
+        inc_r ebx;
+        dec_r ecx;
+        jne "tbl";
+        add_rm eax (m table_region);
+        add_mr (m checksum_cell) eax;
+      ]
+  in
+  (* replace the placeholder multiply by a clean shl/add mix *)
+  let tables =
+    List.concat_map
+      (fun it ->
+        match it with
+        | I (X86.Insn.Imul2 (_, X86.Insn.M _)) ->
+            [ shl_ri eax 12; add_ri eax 0x1000 ]
+        | Label "tbl_after_mul" -> []
+        | it -> [ it ])
+      tables
+  in
+  let unique_blocks =
+    (* run-once initialization code: each block is distinct straight-line
+       code executed exactly once (cold; should stay interpreted) *)
+    List.concat
+      (List.init p.unique_blocks (fun i ->
+           let k1 = mix 0xb007 i and k2 = mix 0xfeed i in
+           [
+             label (Fmt.str "once_%d" i);
+             add_ri eax k1;
+             xor_ri eax k2;
+             rol_ri eax (1 + (i mod 7));
+             add_mr (m checksum_cell) eax;
+           ]))
+  in
+  let mixed =
+    (* BIOS-style sections: writable counters on the same page (and
+       nearby chunks) as the hot code that updates them *)
+    List.concat
+      (List.init p.mixed_sections (fun i ->
+           [
+             jmp (Fmt.str "mx_code_%d" i);
+             (* the counter gets its own 64-byte chunk: fine-grain
+                protection can discriminate it from the code, page-level
+                protection cannot — the Table 1 contrast *)
+             align 64;
+             label (Fmt.str "mx_counter_%d" i);
+             dd [ 0 ];
+             align 64;
+             label (Fmt.str "mx_code_%d" i);
+             mov_ri ecx p.mixed_iters;
+             label (Fmt.str "mx_loop_%d" i);
+             I
+               (X86.Insn.Inc
+                  (X86.Insn.S32, X86.Insn.M (m 0)));
+             (* the displacement 0 is patched post-assembly: see below *)
+             add_ri eax 1;
+             dec_r ecx;
+             jne (Fmt.str "mx_loop_%d" i);
+           ]))
+  in
+  let smc =
+    if p.smc_rounds = 0 then []
+    else
+      [
+        (* driver-install pattern: patch the immediate of the blit
+           routine, then run it hot *)
+        mov_ri esi 1;
+        label "smc_outer";
+        mov_rl edi "smc_insn";
+        mov_mr (mbd edi add_eax_imm_off) esi;
+        mov_ri ecx 400;
+        mov_ri ebx 0;
+        label "smc_inner";
+        label "smc_insn";
+        add_ri eax 0;
+        add_ri ebx 1;
+        dec_r ecx;
+        jne "smc_inner";
+        inc_r esi;
+        cmp_ri esi (p.smc_rounds + 1);
+        jne "smc_outer";
+        add_mr (m checksum_cell) ebx;
+      ]
+  in
+  let services =
+    if p.hot_loop_iters = 0 then []
+    else
+      [
+        (* steady-state kernel loop: run-queue accounting.  Stores go
+           through EDI (accounting array) and the next task's loads come
+           through ESI (run queue) — store-then-load through different
+           base registers, the pattern whose reordering needs the alias
+           hardware (Figures 2/3). *)
+        mov_ri esi table_region;
+        mov_ri edi dma_buffer; (* accounting array *)
+        mov_ri ecx p.hot_loop_iters;
+        mov_ri ebx 0;
+        label "svc";
+        (* task A: load, account, store via edi *)
+        mov_rm edx (mb esi);
+        add_ri edx 1;
+        rol_ri edx 3;
+        xor_rr ebx edx;
+        mov_mr (mb edi) edx;
+        (* same-base disjoint pair: provable without alias hardware *)
+        mov_rm eax (mbd edi 12);
+        xor_rr ebx eax;
+        (* task B: loads through esi AFTER the store through edi *)
+        mov_rm eax (mbd esi 4);
+        add_rm eax (mbd esi 8);
+        sar_ri eax 2;
+        add_rr ebx eax;
+        mov_mr (mbd edi 4) eax;
+        (* advance both queues, wrapping inside a 4K window *)
+        add_ri esi 8;
+        add_ri edi 8;
+        and_ri esi (table_region lor 0xfff);
+        or_ri esi table_region;
+        and_ri edi (dma_buffer lor 0xfff);
+        or_ri edi dma_buffer;
+        dec_r ecx;
+        jne "svc";
+        add_mr (m checksum_cell) ebx;
+      ]
+  in
+  let dma =
+    if p.dma_sectors = 0 then []
+    else
+      [
+        mov_ri edx Machine.Platform.disk_base;
+        mov_ri eax 0;
+        out32_dx;
+        mov_ri edx (Machine.Platform.disk_base + 1);
+        mov_ri eax dma_buffer;
+        out32_dx;
+        mov_ri edx (Machine.Platform.disk_base + 2);
+        mov_ri eax p.dma_sectors;
+        out32_dx;
+        mov_ri edx (Machine.Platform.disk_base + 3);
+        mov_ri eax 1;
+        out32_dx;
+        label "dma_wait";
+        mov_ri edx (Machine.Platform.disk_base + 3);
+        in32_dx;
+        test_ri eax 1;
+        jne "dma_wait";
+        (* checksum the DMA'd data *)
+        mov_ri esi dma_buffer;
+        mov_ri ecx (p.dma_sectors * 128);
+        mov_ri eax 0;
+        label "dma_sum";
+        add_rm eax (mb esi);
+        add_ri esi 4;
+        dec_r ecx;
+        jne "dma_sum";
+        add_mr (m checksum_cell) eax;
+      ]
+  in
+  let finale =
+    [
+      (* gather: checksum + jiffies -> eax; quiesce; halt *)
+      cli;
+      mov_ri eax 0;
+      mov_ri edx Machine.Platform.timer_base;
+      out32_dx;
+      mov_ri edx (Machine.Platform.timer_base + 1);
+      out32_dx;
+      mov_rm eax (m checksum_cell);
+      hlt;
+      label "tick_handler";
+      inc_m (m jiffies);
+      iret;
+      label "disk_handler";
+      iret;
+      label "banner_msg";
+      raw (p.name ^ " booting...\x00");
+      align 4;
+      label "kernel_blob";
+      raw (if p.decompress_kb > 0 then rle_blob ~kb:p.decompress_kb ~seed:(String.length p.name) else "\x00");
+      align 4;
+    ]
+  in
+  setup @ banner @ fb_probe @ decompress @ relocate @ tables @ unique_blocks
+  @ mixed @ smc @ services @ dma @ finale
+
+(* The mixed-section counters need their own addresses folded into the
+   inc instructions: assemble twice. *)
+let build p =
+  let items1 = items_of_profile p in
+  let l1 = assemble ~base:0x10000 items1 in
+  let fix items =
+    let next_counter = ref 0 in
+    List.map
+      (fun it ->
+        match it with
+        | I (X86.Insn.Inc (X86.Insn.S32, X86.Insn.M m0)) when m0.X86.Insn.disp = 0 && m0.X86.Insn.base = None ->
+            let i = !next_counter in
+            incr next_counter;
+            I
+              (X86.Insn.Inc
+                 ( X86.Insn.S32,
+                   X86.Insn.M (m (label_addr l1 (Fmt.str "mx_counter_%d" i))) ))
+        | it -> it)
+      items
+  in
+  assemble ~base:0x10000 (fix items1)
+
+let workload ?(max_insns = 4_000_000) p =
+  let listing = build p in
+  Suite.make ~kind:Suite.Boot ~name:p.name ~entry:0x10000 ~max_insns
+    ~uses_timer:(p.timer_period > 0)
+    ?disk_image:
+      (if p.dma_sectors > 0 then
+         Some
+           (Bytes.init (max 4096 (p.dma_sectors * 512)) (fun i ->
+                Char.chr (mix 0xd15c i land 0xff)))
+       else None)
+    listing
+
+(* ------------------------------------------------------------------ *)
+(* The eight boots                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let dos =
+  workload
+    {
+      name = "DOS Boot";
+      hot_loop_iters = 30000;
+      fb_clear_words = 2000;
+      copy_kb = 4;
+      decompress_kb = 2;
+      unique_blocks = 60;
+      mixed_sections = 2;
+      mixed_iters = 300;
+      smc_rounds = 2;
+      timer_period = 30_000;
+      dma_sectors = 2;
+      table_words = 256;
+    }
+
+let linux =
+  workload
+    {
+      name = "Linux Boot";
+      hot_loop_iters = 100000;
+      fb_clear_words = 1000;
+      copy_kb = 24;
+      decompress_kb = 24;
+      unique_blocks = 150;
+      mixed_sections = 1;
+      mixed_iters = 200;
+      smc_rounds = 0;
+      timer_period = 25_000;
+      dma_sectors = 8;
+      table_words = 2048;
+    }
+
+let os2 =
+  workload
+    {
+      name = "OS/2 Boot";
+      hot_loop_iters = 70000;
+      fb_clear_words = 1500;
+      copy_kb = 12;
+      decompress_kb = 8;
+      unique_blocks = 120;
+      mixed_sections = 2;
+      mixed_iters = 400;
+      smc_rounds = 1;
+      timer_period = 25_000;
+      dma_sectors = 4;
+      table_words = 1024;
+    }
+
+let win95 =
+  workload
+    {
+      name = "Windows 95 Boot";
+      hot_loop_iters = 90000;
+      fb_clear_words = 3000;
+      copy_kb = 16;
+      decompress_kb = 8;
+      unique_blocks = 180;
+      mixed_sections = 4;
+      mixed_iters = 600;
+      smc_rounds = 4;
+      timer_period = 20_000;
+      dma_sectors = 6;
+      table_words = 1536;
+    }
+
+let win98 =
+  workload
+    {
+      name = "Windows 98 Boot";
+      hot_loop_iters = 100000;
+      fb_clear_words = 3500;
+      copy_kb = 20;
+      decompress_kb = 10;
+      unique_blocks = 220;
+      mixed_sections = 5;
+      mixed_iters = 700;
+      smc_rounds = 5;
+      timer_period = 20_000;
+      dma_sectors = 8;
+      table_words = 2048;
+    }
+
+let winme =
+  workload
+    {
+      name = "Windows ME Boot";
+      hot_loop_iters = 110000;
+      fb_clear_words = 6000;
+      copy_kb = 24;
+      decompress_kb = 12;
+      unique_blocks = 240;
+      mixed_sections = 6;
+      mixed_iters = 800;
+      smc_rounds = 6;
+      timer_period = 18_000;
+      dma_sectors = 8;
+      table_words = 2048;
+    }
+
+let winnt =
+  workload
+    {
+      name = "Windows NT Boot";
+      hot_loop_iters = 120000;
+      fb_clear_words = 1200;
+      copy_kb = 32;
+      decompress_kb = 16;
+      unique_blocks = 200;
+      mixed_sections = 1;
+      mixed_iters = 200;
+      smc_rounds = 0;
+      timer_period = 22_000;
+      dma_sectors = 12;
+      table_words = 4096;
+    }
+
+let winxp =
+  workload
+    {
+      name = "Windows XP Boot";
+      hot_loop_iters = 130000;
+      fb_clear_words = 4000;
+      copy_kb = 40;
+      decompress_kb = 20;
+      unique_blocks = 260;
+      mixed_sections = 3;
+      mixed_iters = 500;
+      smc_rounds = 2;
+      timer_period = 22_000;
+      dma_sectors = 16;
+      table_words = 4096;
+    }
+
+let all = [ dos; linux; os2; win95; win98; winme; winnt; winxp ]

@@ -1,0 +1,202 @@
+(** Quake-style game workload and the Windows/9X BLT-driver pattern.
+
+    Quake Demo2: per frame, the "game" patches a lighting constant into
+    the renderer's instruction stream (Doom-style stylized SMC, paper
+    §3.6.4 footnote), renders into an offscreen buffer with fixed-point
+    shading, blits to the memory-mapped frame buffer, and signals end of
+    frame on the frame port — giving the frames-per-molecule metric the
+    §3.6.2 experiment uses.  The renderer also keeps writable state next
+    to its code, the mixed code/data layout the paper attributes to
+    hand-written assembly modules.
+
+    The BLT driver reproduces §3.6.5: one blit routine rewritten among a
+    small set of recurring versions, each version executed hot — the
+    translation-group workload. *)
+
+open X86.Asm
+
+let offscreen = 0x200000
+let world = 0x240000
+
+let add_eax_imm_off = Progs_boot.add_eax_imm_off
+
+let quake_items palette_addr =
+  [
+    (* world data *)
+    mov_ri edi world;
+    mov_ri ecx 2048;
+    mov_ri esi 31;
+    label "q_fill";
+    mov_ri eax 1103515245;
+    imul_rr esi eax;
+    add_ri esi 12345;
+    mov_rr eax esi;
+    shr_ri eax 8;
+    and_ri eax 0xff;
+    mov_mr (mb edi) eax;
+    add_ri edi 4;
+    dec_r ecx;
+    jne "q_fill";
+    mov_mi (m 0x5100) 0;
+    mov_ri ebp 60; (* frames *)
+    label "q_frame";
+    (* game logic: rewrite the lighting palette several times per frame
+       (dynamic lights).  The palette lives in the middle of the
+       renderer's code (hand-written asm style), so these writes hit the
+       renderer's protected chunks — exactly the data-next-to-code
+       traffic self-revalidation exists for (§3.6.2). *)
+    mov_ri ecx 256;
+    mov_ri ebx 0;
+    mov_rr edx ebp;
+    label "q_pal";
+    mov_rr eax ebx;
+    and_ri eax 63;
+    mov_mr (m ~index:(eax, 4) palette_addr) edx;
+    add_ri edx 3;
+    and_ri edx 0x7f;
+    inc_r ebx;
+    dec_r ecx;
+    jne "q_pal";
+    (* ... and patch the base lighting constant into the code itself
+       (Doom-style stylized SMC, §3.6.4) *)
+    mov_rr edx ebp;
+    shl_ri edx 3;
+    and_ri edx 0x7f;
+    mov_rl edi "q_light_insn";
+    mov_mr (mbd edi add_eax_imm_off) edx;
+    (* render 2048 texels with the patched constant + palette *)
+    mov_ri esi world;
+    mov_ri edi offscreen;
+    mov_ri ecx 2048;
+    label "q_texel";
+    mov_rm eax (mb esi);
+    label "q_light_insn";
+    add_ri eax 0; (* lighting constant, patched per frame *)
+    (* palette lookup: code-adjacent data read every texel *)
+    mov_rr ebx eax;
+    and_ri ebx 63;
+    add_rm eax (m ~index:(ebx, 4) palette_addr);
+    (* fixed-point modulate: v = v * 200 >> 8, saturate to 255 *)
+    imul_rr eax (-1); (* placeholder replaced below *)
+    sar_ri eax 8;
+    cmp_ri eax 255;
+    jbe "q_noclip";
+    mov_ri eax 255;
+    label "q_noclip";
+    mov_mr (mb edi) eax;
+    add_ri esi 4;
+    add_ri edi 4;
+    dec_r ecx;
+    jne "q_texel";
+    (* blit offscreen -> framebuffer (memory-mapped I/O) *)
+    mov_ri esi offscreen;
+    mov_ri edi Machine.Platform.fb_base;
+    mov_ri ecx 2048;
+    label "q_blit";
+    mov_rm eax (mb esi);
+    mov_mr (mb edi) eax;
+    add_ri esi 4;
+    add_ri edi 4;
+    dec_r ecx;
+    jne "q_blit";
+    (* end of frame *)
+    mov_ri edx Machine.Platform.frame_port;
+    mov_ri eax 1;
+    out32_dx;
+    dec_r ebp;
+    jne "q_frame";
+    (* checksum a few pixels *)
+    mov_rm eax (m (offscreen + 256));
+    add_mr (m 0x5100) eax;
+    mov_rm eax (m 0x5100);
+    hlt;
+    (* the palette sits right here, after the final code bytes and
+       unaligned: it shares 64-byte protection chunks with code *)
+    label "q_palette";
+    dd (List.init 64 (fun i -> i));
+  ]
+
+let fix_quake items =
+  List.concat_map
+    (fun it ->
+      match it with
+      | I (X86.Insn.Imul2 (0, _)) ->
+          (* v * 200 via shifts/adds: v*200 = v*128 + v*64 + v*8 *)
+          [
+            mov_rr ebx eax;
+            shl_ri eax 7;
+            mov_rr edx ebx;
+            shl_ri edx 6;
+            add_rr eax edx;
+            shl_ri ebx 3;
+            add_rr eax ebx;
+          ]
+      | it -> [ it ])
+    items
+
+let quake =
+  (* two-pass: find the palette's address, then wire it in *)
+  let l1 = assemble ~base:0x10000 (fix_quake (quake_items 0)) in
+  let palette = label_addr l1 "q_palette" in
+  let listing = assemble ~base:0x10000 (fix_quake (quake_items palette)) in
+  Suite.make ~name:"Quake Demo2 (DOS)" ~entry:0x10000 ~max_insns:10_000_000
+    listing
+
+(* ------------------------------------------------------------------ *)
+(* BLT driver: recurring SMC versions (§3.6.5)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [versions] distinct blit "operations" are installed round-robin by
+   rewriting the blit instruction — both its ModRM digit (ADD vs XOR,
+   a structural change stylized translations cannot absorb) and its
+   immediate.  Recurring versions are what translation groups exist
+   for (§3.6.5: the Windows/9X BLT driver uses up to 33 versions). *)
+let blt_items ~versions ~installs ~pixels =
+  [
+    mov_mi (m 0x5100) 0;
+    mov_ri ebp 0; (* install counter *)
+    label "b_outer";
+    (* version id = install mod versions *)
+    mov_rr eax ebp;
+    mov_ri edx 0;
+    mov_ri ecx versions;
+    div_r ecx; (* edx = version id *)
+    lea edx (mbd edx 3); (* make the constant nonzero and distinct *)
+    mov_rl edi "b_insn";
+    (* opcode digit: ADD (/0 = 0xC0) for even versions, XOR (/6 = 0xF0)
+       for odd ones *)
+    mov_ri eax 0xc0;
+    test_ri edx 1;
+    je "b_even";
+    mov_ri eax 0xf0;
+    label "b_even";
+    mov8_mr (mbd edi 1) X86.Regs.eax;
+    mov_mr (mbd edi add_eax_imm_off) edx;
+    (* run the blit *)
+    mov_ri esi offscreen;
+    mov_ri ecx pixels;
+    mov_ri ebx 0;
+    label "b_px";
+    mov_rm eax (mb esi);
+    label "b_insn";
+    add_ri eax 0; (* the patched operation constant *)
+    mov_mr (mb esi) eax;
+    add_rr ebx eax;
+    add_ri esi 4;
+    dec_r ecx;
+    jne "b_px";
+    add_mr (m 0x5100) ebx;
+    inc_r ebp;
+    cmp_ri ebp installs;
+    jne "b_outer";
+    mov_rm eax (m 0x5100);
+    hlt;
+  ]
+
+let blt_driver ?(versions = 8) ?(installs = 48) ?(pixels = 300) () =
+  Suite.make
+    ~name:(Fmt.str "BLT driver (%d versions)" versions)
+    ~entry:0x10000 ~max_insns:3_000_000
+    (assemble ~base:0x10000 (blt_items ~versions ~installs ~pixels))
+
+let all = [ quake ]

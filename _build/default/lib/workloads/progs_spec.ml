@@ -1,0 +1,625 @@
+(** SPECcpu-like application kernels.
+
+    Each mirrors the algorithmic character of its namesake from the
+    paper's suite (Appendix A): memory-op density, branch behaviour and
+    arithmetic mix — the properties Figures 2 and 3 are sensitive to.
+    Floating-point entries (tomcatv, ora, alvinn, mdljsp2) are built as
+    fixed-point kernels because the ISA subset has no FPU; DESIGN.md
+    documents the substitution (the reordering/alias phenomena under
+    study live in the memory system, not the arithmetic unit). *)
+
+open X86.Asm
+
+let data = 0x200000
+let data2 = 0x240000
+let data3 = 0x280000
+
+let fill ~label_prefix ~base ~words ~seed =
+  [ mov_ri edi base; mov_ri ecx words; mov_ri esi seed ]
+  @ [
+      label (label_prefix ^ "_fill");
+      mov_rr eax esi;
+    ]
+  @ [
+      mov_ri ebx 1103515245;
+      imul_rr esi ebx;
+      add_ri esi 12345;
+      mov_mr (mb edi) eax;
+      add_ri edi 4;
+      dec_r ecx;
+      jne (label_prefix ^ "_fill");
+    ]
+
+let finish = [ mov_rm eax (m 0x5100); hlt ]
+let acc v = add_mr (m 0x5100) v
+let init = [ mov_mi (m 0x5100) 0 ]
+
+let wrap ~name ?(max_insns = 3_000_000) items =
+  Suite.make ~name ~entry:0x10000 ~max_insns
+    (assemble ~base:0x10000 (init @ items @ finish))
+
+(* ------------------------------------------------------------------ *)
+(* 023.eqntott: bit-vector comparison & counting                       *)
+(* ------------------------------------------------------------------ *)
+
+let eqntott =
+  wrap ~name:"023.eqntott (Linux)"
+    (fill ~label_prefix:"eq" ~base:data ~words:4096 ~seed:7
+    @ fill ~label_prefix:"eq2" ~base:data2 ~words:4096 ~seed:99
+    @ [
+        (* xor-compare the two bit vectors, popcount-ish accumulate *)
+        mov_ri esi data;
+        mov_ri edi data2;
+        mov_ri ecx 4096;
+        mov_ri ebx 0;
+        label "cmp_loop";
+        mov_rm eax (mb esi);
+        xor_rm eax (mb edi);
+        (* fold 32 -> 8 bit parity-count approximation *)
+        mov_rr edx eax;
+        shr_ri edx 16;
+        xor_rr eax edx;
+        mov_rr edx eax;
+        shr_ri edx 8;
+        xor_rr eax edx;
+        and_ri eax 0xff;
+        add_rr ebx eax;
+        add_ri esi 4;
+        add_ri edi 4;
+        dec_r ecx;
+        jne "cmp_loop";
+        acc ebx;
+        (* a branchy ordering pass over a small window, bubble style *)
+        mov_ri edx 40;
+        label "sort_outer";
+        mov_ri esi data;
+        mov_ri ecx 255;
+        label "sort_inner";
+        mov_rm eax (mb esi);
+        mov_rm ebx (mbd esi 4);
+        cmp_rr eax ebx;
+        jbe "no_swap";
+        mov_mr (mb esi) ebx;
+        mov_mr (mbd esi 4) eax;
+        label "no_swap";
+        add_ri esi 4;
+        dec_r ecx;
+        jne "sort_inner";
+        dec_r edx;
+        jne "sort_outer";
+        mov_rm ebx (m data);
+        acc ebx;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* 026.compress: LZW-style hashing compressor inner loop               *)
+(* ------------------------------------------------------------------ *)
+
+let compress =
+  wrap ~name:"026.compress (Linux)"
+    (fill ~label_prefix:"cp" ~base:data ~words:8192 ~seed:1234
+    @ [
+        (* hash table at data2 (16K entries), input bytes at data *)
+        mov_ri edi data2;
+        mov_ri ecx 16384;
+        mov_ri eax 0;
+        label "clr";
+        mov_mr (mb edi) eax;
+        add_ri edi 4;
+        dec_r ecx;
+        jne "clr";
+        mov_ri esi data;
+        mov_ri edi (data2 + 0x10000); (* output code stream *)
+        mov_ri ecx 32768; (* input bytes *)
+        mov_ri ebx 0; (* prefix code *)
+        mov_ri ebp 0; (* emitted-code accumulator *)
+        label "lzw";
+        (* emit the pending prefix first: the iteration's input and
+           probe loads then issue after this store (different bases) *)
+        mov_mr (mb edi) ebx;
+        add_ri edi 4;
+        movzx eax (mb esi);
+        inc_r esi;
+        (* hash = ((byte << 8) ^ prefix) & 0x3fff *)
+        shl_ri eax 8;
+        xor_rr eax ebx;
+        and_ri eax 0x3fff;
+        (* probe *)
+        mov_rm edx (m ~index:(eax, 4) data2);
+        test_rr edx edx;
+        je "miss";
+        (* hit: prefix = stored code *)
+        mov_rr ebx edx;
+        jmp "next";
+        label "miss";
+        (* store new code, emit prefix *)
+        mov_rr edx ebx;
+        shl_ri edx 1;
+        or_ri edx 1;
+        mov_mr (m ~index:(eax, 4) data2) edx;
+        add_rr ebp ebx;
+        movzx ebx (mbd esi (-1));
+        label "next";
+        dec_r ecx;
+        jne "lzw";
+        acc ebp;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* 072.sc: spreadsheet recalculation with opcode dispatch              *)
+(* ------------------------------------------------------------------ *)
+
+let sc =
+  wrap ~name:"072.sc (Linux)"
+    (fill ~label_prefix:"sc" ~base:data ~words:2048 ~seed:5
+    @ [
+        (* build the dispatch table *)
+        mov_rl eax "op_add";
+        mov_mr (m data3) eax;
+        mov_rl eax "op_double";
+        mov_mr (m (data3 + 4)) eax;
+        mov_rl eax "op_dec";
+        mov_mr (m (data3 + 8)) eax;
+        mov_rl eax "op_mix";
+        mov_mr (m (data3 + 12)) eax;
+        (* recalc passes *)
+        mov_ri ebp 20; (* passes *)
+        label "pass";
+        mov_ri esi data;
+        mov_ri ecx 2047;
+        label "cell";
+        mov_rm eax (mb esi); (* cell value *)
+        mov_rr edx eax;
+        and_ri edx 3; (* opcode from value *)
+        jmp_m (m ~index:(edx, 4) data3);
+        label "op_add";
+        add_rm eax (mbd esi 4);
+        jmp "store";
+        label "op_double";
+        shl_ri eax 1;
+        jmp "store";
+        label "op_dec";
+        sub_ri eax 3;
+        jmp "store";
+        label "op_mix";
+        xor_rm eax (mbd esi 4);
+        rol_ri eax 5;
+        label "store";
+        mov_mr (mb esi) eax;
+        add_ri esi 4;
+        dec_r ecx;
+        jne "cell";
+        dec_r ebp;
+        jne "pass";
+        mov_rm ebx (m (data + 400));
+        acc ebx;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* 085.gcc: pointer-chasing over heap-like structures                  *)
+(* ------------------------------------------------------------------ *)
+
+let gcc =
+  wrap ~name:"085.gcc (Linux)"
+    [
+      (* build a linked list of 2048 nodes with pseudo-random payloads;
+         node: [next; value] (8 bytes) *)
+      mov_ri edi data;
+      mov_ri ecx 2048;
+      mov_ri esi 31337;
+      label "mk";
+      lea eax (mbd edi 8);
+      mov_mr (mb edi) eax; (* next = this + 8 *)
+      mov_ri ebx 1103515245;
+      imul_rr esi ebx;
+      add_ri esi 12345;
+      mov_mr (mbd edi 4) esi;
+      add_ri edi 8;
+      dec_r ecx;
+      jne "mk";
+      (* terminate *)
+      mov_mi (m (data + (2047 * 8))) 0;
+      (* walk repeatedly, conditionally rewriting payloads (branchy) *)
+      mov_ri ebp 60;
+      mov_ri ebx 0;
+      label "walk_pass";
+      mov_ri esi data;
+      label "walk";
+      mov_rm edx (mbd esi 4);
+      test_ri edx 1;
+      je "even";
+      add_rr ebx edx;
+      sar_ri edx 1;
+      mov_mr (mbd esi 4) edx;
+      jmp "step";
+      label "even";
+      xor_rr ebx edx;
+      add_ri edx 7;
+      mov_mr (mbd esi 4) edx;
+      label "step";
+      mov_rm esi (mb esi);
+      test_rr esi esi;
+      jne "walk";
+      dec_r ebp;
+      jne "walk_pass";
+      acc ebx;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* 047.tomcatv: fixed-point 1D/2D stencil sweeps                       *)
+(* ------------------------------------------------------------------ *)
+
+let tomcatv =
+  wrap ~name:"047.tomcatv (Linux)"
+    (fill ~label_prefix:"tc" ~base:data ~words:8192 ~seed:17
+    @ [
+        (* out-of-place stencil: reads via ESI (input mesh), writes via
+           EDI (output mesh).  Each iteration stores point i and then
+           loads point i+1's neighbourhood — store-then-load through
+           different base registers, unprovable statically, exactly what
+           the alias hardware exists for. *)
+        mov_ri ebp 12; (* sweeps *)
+        label "sweep";
+        mov_ri esi (data + 4);
+        mov_ri edi (data2 + 4);
+        mov_ri ecx 4094;
+        label "stencil";
+        (* point i *)
+        mov_rm eax (mbd esi (-4));
+        mov_rm ebx (mb esi);
+        shl_ri ebx 1;
+        add_rr eax ebx;
+        add_rm eax (mbd esi 4);
+        sar_ri eax 2;
+        mov_mr (mb edi) eax;
+        (* point i+1: loads issued after the store above *)
+        mov_rm eax (mb esi);
+        mov_rm ebx (mbd esi 4);
+        shl_ri ebx 1;
+        add_rr eax ebx;
+        add_rm eax (mbd esi 8);
+        sar_ri eax 2;
+        mov_mr (mbd edi 4) eax;
+        add_ri esi 8;
+        add_ri edi 8;
+        dec_r ecx;
+        jne "stencil";
+        (* ping-pong the meshes *)
+        mov_ri esi (data2 + 4);
+        mov_ri edi (data + 4);
+        mov_ri ecx 4094;
+        label "stencil2";
+        mov_rm eax (mbd esi (-4));
+        add_rm eax (mb esi);
+        mov_mr (mb edi) eax;
+        mov_rm ebx (mbd esi 4);
+        add_rm ebx (mbd esi 8);
+        mov_mr (mbd edi 4) ebx;
+        add_ri esi 8;
+        add_ri edi 8;
+        dec_r ecx;
+        jne "stencil2";
+        dec_r ebp;
+        jne "sweep";
+        mov_rm ebx (m (data + 4096));
+        acc ebx;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* 048.ora: Newton iteration (integer sqrt) per "ray"                  *)
+(* ------------------------------------------------------------------ *)
+
+let ora =
+  wrap ~name:"048.ora (Linux)"
+    [
+      mov_ri ebp 6000; (* rays *)
+      mov_ri ebx 0;
+      mov_ri esi 12345;
+      label "ray";
+      (* next pseudo-random radicand in edi *)
+      mov_ri eax 1103515245;
+      imul_rr esi eax;
+      add_ri esi 12345;
+      mov_rr edi esi;
+      and_ri edi 0xffffff;
+      or_ri edi 1;
+      (* Newton: x' = (x + n/x) / 2, 8 iterations *)
+      mov_ri ecx 8;
+      mov_rr edx edi;
+      shr_ri edx 12;
+      or_ri edx 1; (* initial guess in edx *)
+      label "newton";
+      push_r ecx;
+      mov_rr ecx edx; (* divisor = x *)
+      mov_rr eax edi;
+      mov_ri edx 0;
+      div_r ecx; (* eax = n / x *)
+      add_rr eax ecx;
+      shr_ri eax 1;
+      mov_rr edx eax;
+      pop_r ecx;
+      dec_r ecx;
+      jne "newton";
+      add_rr ebx edx;
+      dec_r ebp;
+      jne "ray";
+      acc ebx;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* 052.alvinn: dot products with saturating activation                 *)
+(* ------------------------------------------------------------------ *)
+
+let alvinn =
+  wrap ~name:"052.alvinn (Linux)"
+    (fill ~label_prefix:"av_w" ~base:data ~words:4096 ~seed:3
+    @ fill ~label_prefix:"av_x" ~base:data2 ~words:4096 ~seed:11
+    @ [
+        mov_ri ebp 40; (* output neurons *)
+        mov_ri ebx 0;
+        label "neuron";
+        mov_ri esi data;
+        mov_ri edi data2;
+        mov_ri ecx 2048;
+        mov_ri edx 0;
+        label "dot";
+        mov_rm eax (mb esi);
+        sar_ri eax 16; (* keep products small *)
+        imul_rm eax (mb edi);
+        sar_ri eax 16;
+        add_rr edx eax;
+        (* activation trace written back through the input pointer's
+           sibling array: store-then-next-load, the alias-hw pattern *)
+        mov_mr (mbd edi 0x40000) edx;
+        add_ri esi 4;
+        add_ri edi 4;
+        dec_r ecx;
+        jne "dot";
+        (* saturating activation *)
+        cmp_ri edx 1000;
+        jle "no_sat_hi";
+        mov_ri edx 1000;
+        label "no_sat_hi";
+        cmp_ri edx (-1000);
+        jge "no_sat_lo";
+        mov_ri edx (-1000);
+        label "no_sat_lo";
+        add_rr ebx edx;
+        dec_r ebp;
+        jne "neuron";
+        acc ebx;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* 077.mdljsp2: pairwise interactions with table lookup                *)
+(* ------------------------------------------------------------------ *)
+
+let mdljsp2 =
+  wrap ~name:"077.mdljsp2 (Linux)"
+    (fill ~label_prefix:"md_x" ~base:data ~words:512 ~seed:23
+    @ fill ~label_prefix:"md_f" ~base:data3 ~words:1024 ~seed:41
+    @ [
+        mov_ri ebp 30; (* time steps *)
+        mov_ri ebx 0;
+        label "mdstep";
+        mov_ri esi 0; (* i *)
+        label "ii";
+        mov_ri edi 0; (* j *)
+        label "jj";
+        mov_rm eax (m ~index:(esi, 4) data);
+        sub_rm eax (m ~index:(edi, 4) data);
+        sar_ri eax 20;
+        imul_rr eax eax; (* dx^2, small *)
+        and_ri eax 0x3ff;
+        mov_rm edx (m ~index:(eax, 4) data3); (* force table *)
+        add_rr ebx edx;
+        (* accumulate the force on particle i; the next pair's position
+           loads issue after this store *)
+        mov_mr (m ~index:(esi, 4) data2) ebx;
+        inc_r edi;
+        cmp_ri edi 64;
+        jne "jj";
+        inc_r esi;
+        cmp_ri esi 64;
+        jne "ii";
+        dec_r ebp;
+        jne "mdstep";
+        acc ebx;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* crafty (SPECint2000): bitboard shifting and counting                *)
+(* ------------------------------------------------------------------ *)
+
+let crafty =
+  wrap ~name:"crafty (Win98)"
+    [
+      mov_ri ebp 12000;
+      mov_ri esi 0x9e3779b9; (* "board" low word *)
+      mov_ri edi 0x7f4a7c15;
+      mov_ri ebx 0;
+      label "ply";
+      (* generate "moves": rotate boards, mask, popcount *)
+      rol_ri esi 7;
+      ror_ri edi 11;
+      mov_rr eax esi;
+      and_rr eax edi;
+      mov_rr edx eax;
+      label "pcbit";
+      test_rr edx edx;
+      je "pcdone";
+      mov_rr ecx edx;
+      and_ri ecx 1;
+      add_rr ebx ecx;
+      shr_ri edx 1;
+      jmp "pcbit";
+      label "pcdone";
+      dec_r ebp;
+      jne "ply";
+      acc ebx;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* espresso: bit-set cover operations over cube lists                  *)
+(* ------------------------------------------------------------------ *)
+
+let espresso =
+  wrap ~name:"espresso (Linux)"
+    (fill ~label_prefix:"es" ~base:data ~words:2048 ~seed:13
+    @ [
+        (* repeated cover pass: for each cube pair, test containment by
+           bit operations; count absorbed cubes *)
+        mov_ri ebp 25;
+        mov_ri ebx 0;
+        label "es_pass";
+        mov_ri esi data;
+        mov_ri ecx 1024;
+        label "es_cube";
+        mov_rm eax (mb esi);
+        mov_rm edx (mbd esi 4096); (* cube from the second list *)
+        (* containment: a & b == a *)
+        and_rr edx eax;
+        cmp_rr edx eax;
+        jne "es_not";
+        inc_r ebx;
+        label "es_not";
+        (* sharpen: a & ~b written back to a third list *)
+        mov_rm edx (mbd esi 4096);
+        not_r edx;
+        and_rr edx eax;
+        mov_mr (mbd esi 8192) edx;
+        add_ri esi 4;
+        dec_r ecx;
+        jne "es_cube";
+        dec_r ebp;
+        jne "es_pass";
+        acc ebx;
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* li (lisp interpreter): cons-cell allocation and list traversal      *)
+(* ------------------------------------------------------------------ *)
+
+let li =
+  wrap ~name:"li (Linux)"
+    [
+      (* bump allocator in edi; build 512-long lists 40 times, walking
+         each afterwards — allocation-heavy pointer code *)
+      mov_ri ebp 40;
+      mov_ri ebx 0;
+      label "li_round";
+      mov_ri edi data; (* reset the "heap" *)
+      mov_ri esi 0; (* nil *)
+      mov_ri ecx 512;
+      label "li_cons";
+      (* car = ecx, cdr = esi *)
+      mov_mr (mb edi) ecx;
+      mov_mr (mbd edi 4) esi;
+      mov_rr esi edi;
+      add_ri edi 8;
+      dec_r ecx;
+      jne "li_cons";
+      (* walk: sum the cars *)
+      label "li_walk";
+      add_rm ebx (mb esi);
+      mov_rm esi (mbd esi 4);
+      test_rr esi esi;
+      jne "li_walk";
+      dec_r ebp;
+      jne "li_round";
+      acc ebx;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* su2cor / wave5 / spice2g6: fixed-point numeric sweeps               *)
+(* ------------------------------------------------------------------ *)
+
+let su2cor =
+  wrap ~name:"su2cor (Linux)"
+    (fill ~label_prefix:"su" ~base:data ~words:4096 ~seed:29
+    @ [
+        (* gauge-field-style update: out[i] = (a[i]*3 + a[i+stride]) >> 2
+           with a long stride, written through a second pointer *)
+        mov_ri ebp 20;
+        label "su_sweep";
+        mov_ri esi data;
+        mov_ri edi data2;
+        mov_ri ecx 2048;
+        label "su_site";
+        mov_rm eax (mb esi);
+        mov_rr edx eax;
+        shl_ri eax 1;
+        add_rr eax edx;
+        add_rm eax (mbd esi 8192); (* + a[i + 2048 words] *)
+        sar_ri eax 2;
+        mov_mr (mb edi) eax;
+        mov_rm edx (mbd esi 4); (* next site load after the store *)
+        add_rr eax edx;
+        mov_mr (mbd edi 4) eax;
+        add_ri esi 8;
+        add_ri edi 8;
+        dec_r ecx;
+        jne "su_site";
+        dec_r ebp;
+        jne "su_sweep";
+        mov_rm ebx (m data2);
+        acc ebx;
+      ])
+
+let wave5 =
+  wrap ~name:"wave5 (Linux)"
+    (fill ~label_prefix:"wv" ~base:data ~words:4096 ~seed:37
+    @ [
+        (* particle push: position += velocity (two parallel arrays),
+           periodic wrap by masking *)
+        mov_ri ebp 30;
+        label "wv_step";
+        mov_ri esi data; (* positions *)
+        mov_ri edi data2; (* velocities live at data+16K; out at data2 *)
+        mov_ri ecx 4096;
+        label "wv_part";
+        mov_rm eax (mb esi);
+        add_rm eax (mbd esi 16384);
+        and_ri eax 0xffffff;
+        mov_mr (mb edi) eax;
+        add_ri esi 4;
+        add_ri edi 4;
+        dec_r ecx;
+        jne "wv_part";
+        dec_r ebp;
+        jne "wv_step";
+        mov_rm ebx (m (data2 + 64));
+        acc ebx;
+      ])
+
+let spice2g6 =
+  wrap ~name:"spice2g6 (Linux)"
+    (fill ~label_prefix:"sp" ~base:data ~words:1024 ~seed:41
+    @ [
+        (* sparse-matrix-vector style: indices in one array select
+           elements of another; irregular loads *)
+        mov_ri ebp 60;
+        mov_ri ebx 0;
+        label "sp_iter";
+        mov_ri esi data;
+        mov_ri ecx 1024;
+        label "sp_elt";
+        mov_rm eax (mb esi);
+        and_ri eax 0x3ff;
+        mov_rm edx (m ~index:(eax, 4) data2); (* indirect load *)
+        add_rr ebx edx;
+        (* stamp the visit into the node (store then next index load) *)
+        mov_mr (m ~index:(eax, 4) data2) ebx;
+        add_ri esi 4;
+        dec_r ecx;
+        jne "sp_elt";
+        dec_r ebp;
+        jne "sp_iter";
+        acc ebx;
+      ])
+
+let all =
+  [
+    eqntott; compress; sc; gcc; tomcatv; ora; alvinn; mdljsp2; crafty;
+    espresso; li; su2cor; wave5; spice2g6;
+  ]

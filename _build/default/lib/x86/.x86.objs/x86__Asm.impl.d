@@ -1,0 +1,1 @@
+lib/x86/asm.ml: Bytes Cond Encode Insn List Option Regs String

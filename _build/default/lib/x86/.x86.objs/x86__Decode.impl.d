@@ -1,0 +1,1 @@
+lib/x86/decode.ml: Cond Exn Insn Regs

@@ -1,0 +1,1 @@
+lib/x86/flags.ml: Cond Fmt Int64

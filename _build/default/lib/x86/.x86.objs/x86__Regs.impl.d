@@ -1,0 +1,1 @@
+lib/x86/regs.ml: Array Fmt

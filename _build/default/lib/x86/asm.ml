@@ -1,0 +1,288 @@
+(** Two-pass assembler and combinator DSL for writing x86 workloads.
+
+    All control-flow encodings are fixed-length (rel32), so the first
+    pass computes a complete layout and the second pass emits bytes with
+    every label resolved.  The resulting {!listing} records per-
+    instruction metadata (address, length, 32-bit immediate field
+    address) that the self-modifying-code workloads use to patch
+    instruction bytes at run time, like Doom/Quake-era inner loops. *)
+
+open Insn
+
+type target = Abs of int | Lbl of string
+
+type item =
+  | I of Insn.t  (** a complete instruction *)
+  | IJcc of Cond.t * target
+  | IJmp of target
+  | ICall of target
+  | IMovLbl of Regs.t * target  (** mov r32, address-of-label *)
+  | IPushLbl of target
+  | Label of string
+  | Raw of string  (** raw bytes *)
+  | Dd of int list  (** 32-bit little-endian data words *)
+  | DdLbl of target list  (** 32-bit words holding label addresses *)
+  | Space of int  (** zero-filled gap *)
+  | Align of int  (** pad with NOPs to a multiple *)
+
+type insn_info = {
+  addr : int;
+  len : int;
+  imm32_addr : int option;
+      (** absolute address of the instruction's 32-bit immediate field *)
+  text : string;
+}
+
+type listing = {
+  base : int;
+  image : Bytes.t;  (** the assembled bytes, starting at [base] *)
+  labels : (string * int) list;
+  insns : insn_info list;  (** in program order *)
+}
+
+let label_addr l name =
+  match List.assoc_opt name l.labels with
+  | Some a -> a
+  | None -> invalid_arg ("Asm: undefined label " ^ name)
+
+(* Length of each item; must not depend on label values. *)
+let item_len ~addr = function
+  | I insn -> Encode.length insn
+  | IJcc _ -> 6
+  | IJmp _ | ICall _ | IMovLbl _ | IPushLbl _ -> 5
+  | Label _ -> 0
+  | Raw s -> String.length s
+  | Dd ws -> 4 * List.length ws
+  | DdLbl ws -> 4 * List.length ws
+  | Space n -> n
+  | Align n -> (n - (addr mod n)) mod n
+
+let assemble ~base items =
+  (* Pass 1: layout. *)
+  let labels = ref [] in
+  let addr = ref base in
+  List.iter
+    (fun it ->
+      (match it with
+      | Label name ->
+          if List.mem_assoc name !labels then
+            invalid_arg ("Asm: duplicate label " ^ name)
+          else labels := (name, !addr) :: !labels
+      | _ -> ());
+      addr := !addr + item_len ~addr:!addr it)
+    items;
+  let total = !addr - base in
+  let labels = !labels in
+  let resolve = function
+    | Abs a -> a
+    | Lbl name -> (
+        match List.assoc_opt name labels with
+        | Some a -> a
+        | None -> invalid_arg ("Asm: undefined label " ^ name))
+  in
+  (* Pass 2: emit. *)
+  let image = Bytes.make total '\x00' in
+  let insns = ref [] in
+  let addr = ref base in
+  let put_insn insn =
+    let { Encode.bytes; imm32_off } = Encode.encode ~at:!addr insn in
+    Bytes.blit bytes 0 image (!addr - base) (Bytes.length bytes);
+    insns :=
+      {
+        addr = !addr;
+        len = Bytes.length bytes;
+        imm32_addr = Option.map (fun o -> !addr + o) imm32_off;
+        text = Insn.to_string insn;
+      }
+      :: !insns;
+    addr := !addr + Bytes.length bytes
+  in
+  let put_word v =
+    Bytes.set_uint8 image (!addr - base) (v land 0xff);
+    Bytes.set_uint8 image (!addr - base + 1) ((v lsr 8) land 0xff);
+    Bytes.set_uint8 image (!addr - base + 2) ((v lsr 16) land 0xff);
+    Bytes.set_uint8 image (!addr - base + 3) ((v lsr 24) land 0xff);
+    addr := !addr + 4
+  in
+  List.iter
+    (fun it ->
+      match it with
+      | I insn -> put_insn insn
+      | IJcc (cc, t) -> put_insn (Jcc (cc, resolve t))
+      | IJmp t -> put_insn (Jmp (resolve t))
+      | ICall t -> put_insn (Call (resolve t))
+      | IMovLbl (r, t) -> put_insn (Mov (S32, RM_I (R r, resolve t)))
+      | IPushLbl t -> put_insn (Push (PushI (resolve t)))
+      | Label _ -> ()
+      | Raw s ->
+          Bytes.blit_string s 0 image (!addr - base) (String.length s);
+          addr := !addr + String.length s
+      | Dd ws -> List.iter put_word ws
+      | DdLbl ts -> List.iter (fun t -> put_word (resolve t)) ts
+      | Space n -> addr := !addr + n
+      | Align n ->
+          let pad = (n - (!addr mod n)) mod n in
+          for i = 0 to pad - 1 do
+            Bytes.set image (!addr - base + i) '\x90'
+          done;
+          addr := !addr + pad)
+    items;
+  { base; image; labels; insns = List.rev !insns }
+
+(* ------------------------------------------------------------------ *)
+(* Combinators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Register shorthands, re-exported for workload files. *)
+let eax = Regs.eax
+let ecx = Regs.ecx
+let edx = Regs.edx
+let ebx = Regs.ebx
+let esp = Regs.esp
+let ebp = Regs.ebp
+let esi = Regs.esi
+let edi = Regs.edi
+
+let label s = Label s
+let lbl s = Lbl s
+
+(** Memory operand helpers. *)
+let m ?base ?index disp = Insn.mem ?base ?index disp
+
+let mb r = Insn.mem ~base:r 0
+let mbd r disp = Insn.mem ~base:r disp
+let mbi b i scale = Insn.mem ~base:b ~index:(i, scale) 0
+let mbid b i scale disp = Insn.mem ~base:b ~index:(i, scale) disp
+
+(* mov *)
+let mov_rr d s = I (Mov (S32, RM_R (R d, s)))
+let mov_ri d i = I (Mov (S32, RM_I (R d, i)))
+let mov_rm d mem = I (Mov (S32, R_RM (d, M mem)))
+let mov_mr mem s = I (Mov (S32, RM_R (M mem, s)))
+let mov_mi mem i = I (Mov (S32, RM_I (M mem, i)))
+let mov_rl d l = IMovLbl (d, Lbl l)
+let mov8_rm d mem = I (Mov (S8, R_RM (d, M mem)))
+let mov8_mr mem s = I (Mov (S8, RM_R (M mem, s)))
+let mov8_ri d i = I (Mov (S8, RM_I (R d, i)))
+let mov8_mi mem i = I (Mov (S8, RM_I (M mem, i)))
+let movzx d mem = I (Movx { sign = false; dst = d; src = M mem })
+let movzx_r d s = I (Movx { sign = false; dst = d; src = R s })
+let movsx d mem = I (Movx { sign = true; dst = d; src = M mem })
+
+(* arithmetic *)
+let arith_rr op d s = I (Arith (op, S32, RM_R (R d, s)))
+let arith_ri op d i = I (Arith (op, S32, RM_I (R d, i)))
+let arith_rm op d mem = I (Arith (op, S32, R_RM (d, M mem)))
+let arith_mr op mem s = I (Arith (op, S32, RM_R (M mem, s)))
+let arith_mi op mem i = I (Arith (op, S32, RM_I (M mem, i)))
+
+let add_rr d s = arith_rr Add d s
+let add_ri d i = arith_ri Add d i
+let add_rm d mem = arith_rm Add d mem
+let add_mr mem s = arith_mr Add mem s
+let add_mi mem i = arith_mi Add mem i
+let sub_rr d s = arith_rr Sub d s
+let sub_ri d i = arith_ri Sub d i
+let sub_rm d mem = arith_rm Sub d mem
+let and_rr d s = arith_rr And d s
+let and_ri d i = arith_ri And d i
+let or_rr d s = arith_rr Or d s
+let or_ri d i = arith_ri Or d i
+let xor_rr d s = arith_rr Xor d s
+let xor_ri d i = arith_ri Xor d i
+let xor_rm d mem = arith_rm Xor d mem
+let adc_rr d s = arith_rr Adc d s
+let cmp_rr d s = arith_rr Cmp d s
+let cmp_ri d i = arith_ri Cmp d i
+let cmp_rm d mem = arith_rm Cmp d mem
+let cmp_mi mem i = arith_mi Cmp mem i
+let test_rr a bb = I (Test (S32, R a, T_R bb))
+let test_ri a i = I (Test (S32, R a, T_I i))
+
+let inc_r r = I (Inc (S32, R r))
+let dec_r r = I (Dec (S32, R r))
+let inc_m mem = I (Inc (S32, M mem))
+let dec_m mem = I (Dec (S32, M mem))
+let neg_r r = I (Neg (S32, R r))
+let not_r r = I (Not (S32, R r))
+
+let shl_ri r i = I (Shift (Shl, S32, R r, Cimm i))
+let shr_ri r i = I (Shift (Shr, S32, R r, Cimm i))
+let sar_ri r i = I (Shift (Sar, S32, R r, Cimm i))
+let rol_ri r i = I (Shift (Rol, S32, R r, Cimm i))
+let ror_ri r i = I (Shift (Ror, S32, R r, Cimm i))
+let shl_cl r = I (Shift (Shl, S32, R r, Ccl))
+let shr_cl r = I (Shift (Shr, S32, R r, Ccl))
+
+let imul_rr d s = I (Imul2 (d, R s))
+let imul_rm d mem = I (Imul2 (d, M mem))
+let mul_r r = I (Mul (S32, R r))
+let div_r r = I (Div (S32, R r))
+let idiv_r r = I (Idiv (S32, R r))
+let cdq = I Cdq
+let lea d mem = I (Lea (d, mem))
+let xchg_rr a bb = I (Xchg (S32, R a, bb))
+
+(* stack *)
+let push_r r = I (Push (PushR r))
+let push_i i = I (Push (PushI i))
+let push_l l = IPushLbl (Lbl l)
+let pop_r r = I (Pop (R r))
+let pushf = I Pushf
+let popf = I Popf
+
+(* control flow *)
+let jmp l = IJmp (Lbl l)
+let jmp_abs a = IJmp (Abs a)
+let jmp_r r = I (JmpInd (R r))
+let jmp_m mem = I (JmpInd (M mem))
+let jcc cc l = IJcc (cc, Lbl l)
+let je l = jcc Cond.E l
+let jne l = jcc Cond.NE l
+let jb l = jcc Cond.B l
+let jae l = jcc Cond.AE l
+let jbe l = jcc Cond.BE l
+let ja l = jcc Cond.A l
+let jl l = jcc Cond.L l
+let jge l = jcc Cond.GE l
+let jle l = jcc Cond.LE l
+let jg l = jcc Cond.G l
+let js l = jcc Cond.S l
+let jns l = jcc Cond.NS l
+let jo l = jcc Cond.O l
+let call l = ICall (Lbl l)
+let call_r r = I (CallInd (R r))
+let ret = I (Ret 0)
+let retn n = I (Ret n)
+let setcc cc r = I (Setcc (cc, R r))
+
+(* system *)
+let int_ v = I (Int v)
+let int3 = I Int3
+let iret = I Iret
+let in8 p = I (In (S8, PortImm p))
+let in32 p = I (In (S32, PortImm p))
+let in32_dx = I (In (S32, PortDx))
+let out8 p = I (Out (S8, PortImm p))
+let out32 p = I (Out (S32, PortImm p))
+let out32_dx = I (Out (S32, PortDx))
+let hlt = I Hlt
+let nop = I Nop
+let cli = I Cli
+let sti = I Sti
+let lidt mem = I (Lidt mem)
+
+(* string ops *)
+let rep_movsd = I (Strop { rep = true; op = Movs; size = S32 })
+let rep_movsb = I (Strop { rep = true; op = Movs; size = S8 })
+let rep_stosd = I (Strop { rep = true; op = Stos; size = S32 })
+let rep_stosb = I (Strop { rep = true; op = Stos; size = S8 })
+let movsd_ = I (Strop { rep = false; op = Movs; size = S32 })
+let stosd_ = I (Strop { rep = false; op = Stos; size = S32 })
+
+(* data *)
+let dd ws = Dd ws
+let dd_l ls = DdLbl (List.map (fun s -> Lbl s) ls)
+let raw s = Raw s
+let space n = Space n
+let align n = Align n

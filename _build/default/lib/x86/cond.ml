@@ -1,0 +1,83 @@
+(** x86 condition codes (the [tttn] field of Jcc/SETcc encodings). *)
+
+type t =
+  | O   (* overflow *)
+  | NO
+  | B   (* below: CF *)
+  | AE
+  | E   (* equal: ZF *)
+  | NE
+  | BE  (* below or equal: CF or ZF *)
+  | A
+  | S   (* sign *)
+  | NS
+  | P   (* parity even *)
+  | NP
+  | L   (* less: SF <> OF *)
+  | GE
+  | LE  (* less or equal: ZF or SF <> OF *)
+  | G
+
+let all = [ O; NO; B; AE; E; NE; BE; A; S; NS; P; NP; L; GE; LE; G ]
+
+(** Hardware encoding, 0x0..0xF, used as the low nibble of 0x70+cc and
+    0x0F 0x80+cc. *)
+let to_code = function
+  | O -> 0x0
+  | NO -> 0x1
+  | B -> 0x2
+  | AE -> 0x3
+  | E -> 0x4
+  | NE -> 0x5
+  | BE -> 0x6
+  | A -> 0x7
+  | S -> 0x8
+  | NS -> 0x9
+  | P -> 0xA
+  | NP -> 0xB
+  | L -> 0xC
+  | GE -> 0xD
+  | LE -> 0xE
+  | G -> 0xF
+
+let of_code = function
+  | 0x0 -> O
+  | 0x1 -> NO
+  | 0x2 -> B
+  | 0x3 -> AE
+  | 0x4 -> E
+  | 0x5 -> NE
+  | 0x6 -> BE
+  | 0x7 -> A
+  | 0x8 -> S
+  | 0x9 -> NS
+  | 0xA -> P
+  | 0xB -> NP
+  | 0xC -> L
+  | 0xD -> GE
+  | 0xE -> LE
+  | 0xF -> G
+  | c -> invalid_arg (Printf.sprintf "Cond.of_code %d" c)
+
+(** The opposite condition: [eval (negate c) f = not (eval c f)]. *)
+let negate c = of_code (to_code c lxor 1)
+
+let name = function
+  | O -> "o"
+  | NO -> "no"
+  | B -> "b"
+  | AE -> "ae"
+  | E -> "e"
+  | NE -> "ne"
+  | BE -> "be"
+  | A -> "a"
+  | S -> "s"
+  | NS -> "ns"
+  | P -> "p"
+  | NP -> "np"
+  | L -> "l"
+  | GE -> "ge"
+  | LE -> "le"
+  | G -> "g"
+
+let pp fmt c = Fmt.string fmt (name c)

@@ -1,0 +1,336 @@
+(** Binary decoder for the IA-32 subset.
+
+    Consumes genuine IA-32 encodings (ModRM/SIB, disp8/disp32, rel8/rel32,
+    the 0x0F escape map, immediate groups 1/2/3/5).  Anything outside the
+    subset raises [Exn.Fault UD], like hardware.  The supplied [fetch]
+    function may itself raise (e.g. a page fault during instruction
+    fetch); the decoder never catches it. *)
+
+open Insn
+
+type fetched = {
+  insn : Insn.t;
+  len : int;  (** total instruction length in bytes *)
+  imm32_off : int option;
+      (** byte offset (from instruction start) of a 32-bit *data*
+          immediate, if the instruction has one.  Branch displacements do
+          not count.  Used by the stylized-SMC translation technique. *)
+}
+
+type cursor = { fetch : int -> int; start : int; mutable pos : int }
+
+let byte c =
+  let b = c.fetch c.pos land 0xff in
+  c.pos <- c.pos + 1;
+  b
+
+let imm8 c = byte c
+
+let imm8_s c =
+  let b = byte c in
+  if b >= 0x80 then b - 0x100 else b
+
+let imm16 c =
+  let a = byte c in
+  let b = byte c in
+  a lor (b lsl 8)
+
+let imm32 c =
+  let a = byte c in
+  let b = byte c in
+  let d = byte c in
+  let e = byte c in
+  a lor (b lsl 8) lor (d lsl 16) lor (e lsl 24)
+
+let imm32_s c =
+  let v = imm32 c in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let ud () = raise (Exn.Fault Exn.UD)
+
+(* ------------------------------------------------------------------ *)
+(* ModRM / SIB                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Decode a ModRM byte (and a trailing SIB/displacement if present),
+    returning the [reg] field and the r/m operand. *)
+let modrm c =
+  let m = byte c in
+  let md = m lsr 6 and reg = (m lsr 3) land 7 and rm = m land 7 in
+  if md = 3 then (reg, R rm)
+  else
+    let base, index =
+      if rm = 4 then begin
+        (* SIB byte *)
+        let sib = byte c in
+        let scale = 1 lsl (sib lsr 6)
+        and idx = (sib lsr 3) land 7
+        and b = sib land 7 in
+        let index = if idx = 4 then None else Some (idx, scale) in
+        if b = 5 && md = 0 then (None, index) (* disp32 follows *)
+        else (Some b, index)
+      end
+      else if rm = 5 && md = 0 then (None, None) (* disp32, no base *)
+      else (Some rm, None)
+    in
+    let disp =
+      match md with
+      | 0 -> (
+          match (base, rm) with
+          | None, _ -> imm32 c (* [disp32] or SIB with no base *)
+          | Some _, _ -> 0)
+      | 1 -> imm8_s c
+      | 2 -> imm32_s c
+      | _ -> assert false
+    in
+    (reg, M (Insn.mem ?base ?index disp))
+
+let modrm_mem c =
+  match modrm c with
+  | reg, M m -> (reg, m)
+  | _, R _ -> ud ()
+
+(* ------------------------------------------------------------------ *)
+(* Groups                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* 0x80/0x81/0x83: arithmetic with immediate. *)
+let grp1 c sz ~imm_kind =
+  let digit, rm = modrm c in
+  let op = arith_of_digit digit in
+  let ioff = if imm_kind = `I32 then Some (c.pos - c.start) else None in
+  let i =
+    match imm_kind with
+    | `I8 -> imm8 c
+    | `I8s -> imm8_s c land 0xffffffff
+    | `I32 -> imm32 c
+  in
+  (Arith (op, sz, RM_I (rm, i)), ioff)
+
+(* Shift group 2. *)
+let grp2 c sz count =
+  let digit, rm = modrm c in
+  let op =
+    match digit with
+    | 0 -> Rol
+    | 1 -> Ror
+    | 4 -> Shl
+    | 5 -> Shr
+    | 7 -> Sar
+    | _ -> ud ()
+  in
+  let count = match count with `One -> C1 | `Cl -> Ccl | `Imm -> Cimm (imm8 c) in
+  Shift (op, sz, rm, count)
+
+(* Unary group 3 (F6/F7). *)
+let grp3 c sz =
+  let digit, rm = modrm c in
+  match digit with
+  | 0 ->
+      let ioff = if sz = S32 then Some (c.pos - c.start) else None in
+      let i = match sz with S8 -> imm8 c | S32 -> imm32 c in
+      (Test (sz, rm, T_I i), ioff)
+  | 2 -> (Not (sz, rm), None)
+  | 3 -> (Neg (sz, rm), None)
+  | 4 -> (Mul (sz, rm), None)
+  | 5 -> (Imul1 (sz, rm), None)
+  | 6 -> (Div (sz, rm), None)
+  | 7 -> (Idiv (sz, rm), None)
+  | _ -> ud ()
+
+(* ------------------------------------------------------------------ *)
+(* Main dispatch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let decode_0f c =
+  let op = byte c in
+  match op with
+  | 0x01 -> (
+      (* Only /3 = LIDT in the subset. *)
+      match modrm_mem c with 3, m -> Lidt m | _ -> ud ())
+  | _ when op >= 0x80 && op <= 0x8f ->
+      let cc = Cond.of_code (op land 0xf) in
+      let rel = imm32_s c in
+      Jcc (cc, (c.pos + rel) land 0xffffffff)
+  | _ when op >= 0x90 && op <= 0x9f ->
+      let cc = Cond.of_code (op land 0xf) in
+      let _, rm = modrm c in
+      Setcc (cc, rm)
+  | 0xaf ->
+      let reg, rm = modrm c in
+      Imul2 (reg, rm)
+  | 0xb6 ->
+      let reg, rm = modrm c in
+      Movx { sign = false; dst = reg; src = rm }
+  | 0xbe ->
+      let reg, rm = modrm c in
+      Movx { sign = true; dst = reg; src = rm }
+  | _ -> ud ()
+
+let decode_one c =
+  let op = byte c in
+  (* The eight classic ALU rows: 00-05, 08-0d, ... 38-3d. *)
+  if op < 0x40 && op land 7 < 6 && op <> 0x0f then begin
+    let a = arith_of_digit (op lsr 3) in
+    match op land 7 with
+    | 0 ->
+        let reg, rm = modrm c in
+        (Arith (a, S8, RM_R (rm, reg)), None)
+    | 1 ->
+        let reg, rm = modrm c in
+        (Arith (a, S32, RM_R (rm, reg)), None)
+    | 2 ->
+        let reg, rm = modrm c in
+        (Arith (a, S8, R_RM (reg, rm)), None)
+    | 3 ->
+        let reg, rm = modrm c in
+        (Arith (a, S32, R_RM (reg, rm)), None)
+    | 4 -> (Arith (a, S8, RM_I (R Regs.eax, imm8 c)), None)
+    | 5 ->
+        let off = c.pos - c.start in
+        (Arith (a, S32, RM_I (R Regs.eax, imm32 c)), Some off)
+    | _ -> assert false
+  end
+  else
+    match op with
+    | 0x0f -> (decode_0f c, None)
+    | _ when op >= 0x40 && op <= 0x47 -> (Inc (S32, R (op land 7)), None)
+    | _ when op >= 0x48 && op <= 0x4f -> (Dec (S32, R (op land 7)), None)
+    | _ when op >= 0x50 && op <= 0x57 -> (Push (PushR (op land 7)), None)
+    | _ when op >= 0x58 && op <= 0x5f -> (Pop (R (op land 7)), None)
+    | 0x68 ->
+        let off = c.pos - c.start in
+        (Push (PushI (imm32 c)), Some off)
+    | 0x6a -> (Push (PushI (imm8_s c land 0xffffffff)), None)
+    | _ when op >= 0x70 && op <= 0x7f ->
+        let cc = Cond.of_code (op land 0xf) in
+        let rel = imm8_s c in
+        (Jcc (cc, (c.pos + rel) land 0xffffffff), None)
+    | 0x80 -> grp1 c S8 ~imm_kind:`I8
+    | 0x81 -> grp1 c S32 ~imm_kind:`I32
+    | 0x83 -> grp1 c S32 ~imm_kind:`I8s
+    | 0x84 ->
+        let reg, rm = modrm c in
+        (Test (S8, rm, T_R reg), None)
+    | 0x85 ->
+        let reg, rm = modrm c in
+        (Test (S32, rm, T_R reg), None)
+    | 0x86 ->
+        let reg, rm = modrm c in
+        (Xchg (S8, rm, reg), None)
+    | 0x87 ->
+        let reg, rm = modrm c in
+        (Xchg (S32, rm, reg), None)
+    | 0x88 ->
+        let reg, rm = modrm c in
+        (Mov (S8, RM_R (rm, reg)), None)
+    | 0x89 ->
+        let reg, rm = modrm c in
+        (Mov (S32, RM_R (rm, reg)), None)
+    | 0x8a ->
+        let reg, rm = modrm c in
+        (Mov (S8, R_RM (reg, rm)), None)
+    | 0x8b ->
+        let reg, rm = modrm c in
+        (Mov (S32, R_RM (reg, rm)), None)
+    | 0x8d ->
+        let reg, m = modrm_mem c in
+        (Lea (reg, m), None)
+    | 0x8f -> (
+        match modrm c with 0, rm -> (Pop rm, None) | _ -> ud ())
+    | 0x90 -> (Nop, None)
+    | 0x99 -> (Cdq, None)
+    | 0x9c -> (Pushf, None)
+    | 0x9d -> (Popf, None)
+    | 0xa4 -> (Strop { rep = false; op = Movs; size = S8 }, None)
+    | 0xa5 -> (Strop { rep = false; op = Movs; size = S32 }, None)
+    | 0xa8 -> (Test (S8, R Regs.eax, T_I (imm8 c)), None)
+    | 0xa9 ->
+        let off = c.pos - c.start in
+        (Test (S32, R Regs.eax, T_I (imm32 c)), Some off)
+    | 0xaa -> (Strop { rep = false; op = Stos; size = S8 }, None)
+    | 0xab -> (Strop { rep = false; op = Stos; size = S32 }, None)
+    | _ when op >= 0xb0 && op <= 0xb7 ->
+        (Mov (S8, RM_I (R (op land 7), imm8 c)), None)
+    | _ when op >= 0xb8 && op <= 0xbf ->
+        let off = c.pos - c.start in
+        (Mov (S32, RM_I (R (op land 7), imm32 c)), Some off)
+    | 0xc0 -> (grp2 c S8 `Imm, None)
+    | 0xc1 -> (grp2 c S32 `Imm, None)
+    | 0xc2 -> (Ret (imm16 c), None)
+    | 0xc3 -> (Ret 0, None)
+    | 0xc6 -> (
+        match modrm c with
+        | 0, rm -> (Mov (S8, RM_I (rm, imm8 c)), None)
+        | _ -> ud ())
+    | 0xc7 -> (
+        match modrm c with
+        | 0, rm ->
+            let off = c.pos - c.start in
+            (Mov (S32, RM_I (rm, imm32 c)), Some off)
+        | _ -> ud ())
+    | 0xcc -> (Int3, None)
+    | 0xcd -> (Int (imm8 c), None)
+    | 0xcf -> (Iret, None)
+    | 0xd0 -> (grp2 c S8 `One, None)
+    | 0xd1 -> (grp2 c S32 `One, None)
+    | 0xd2 -> (grp2 c S8 `Cl, None)
+    | 0xd3 -> (grp2 c S32 `Cl, None)
+    | 0xe4 -> (In (S8, PortImm (imm8 c)), None)
+    | 0xe5 -> (In (S32, PortImm (imm8 c)), None)
+    | 0xe6 -> (Out (S8, PortImm (imm8 c)), None)
+    | 0xe7 -> (Out (S32, PortImm (imm8 c)), None)
+    | 0xe8 ->
+        let rel = imm32_s c in
+        (Call ((c.pos + rel) land 0xffffffff), None)
+    | 0xe9 ->
+        let rel = imm32_s c in
+        (Jmp ((c.pos + rel) land 0xffffffff), None)
+    | 0xeb ->
+        let rel = imm8_s c in
+        (Jmp ((c.pos + rel) land 0xffffffff), None)
+    | 0xec -> (In (S8, PortDx), None)
+    | 0xed -> (In (S32, PortDx), None)
+    | 0xee -> (Out (S8, PortDx), None)
+    | 0xef -> (Out (S32, PortDx), None)
+    | 0xf3 -> (
+        (* REP prefix: only string ops in the subset. *)
+        match byte c with
+        | 0xa4 -> (Strop { rep = true; op = Movs; size = S8 }, None)
+        | 0xa5 -> (Strop { rep = true; op = Movs; size = S32 }, None)
+        | 0xaa -> (Strop { rep = true; op = Stos; size = S8 }, None)
+        | 0xab -> (Strop { rep = true; op = Stos; size = S32 }, None)
+        | _ -> ud ())
+    | 0xf4 -> (Hlt, None)
+    | 0xf6 -> grp3 c S8
+    | 0xf7 -> grp3 c S32
+    | 0xfa -> (Cli, None)
+    | 0xfb -> (Sti, None)
+    | 0xfe -> (
+        match modrm c with
+        | 0, rm -> (Inc (S8, rm), None)
+        | 1, rm -> (Dec (S8, rm), None)
+        | _ -> ud ())
+    | 0xff -> (
+        match modrm c with
+        | 0, rm -> (Inc (S32, rm), None)
+        | 1, rm -> (Dec (S32, rm), None)
+        | 2, rm -> (CallInd rm, None)
+        | 4, rm -> (JmpInd rm, None)
+        | 6, rm -> (
+            match rm with
+            | M m -> (Push (PushM m), None)
+            | R r -> (Push (PushR r), None))
+        | _ -> ud ())
+    | _ -> ud ()
+
+(** Decode the instruction at [eip].  [fetch a] must return the byte at
+    linear address [a]. *)
+let decode ~fetch eip =
+  let c = { fetch; start = eip; pos = eip } in
+  let insn, imm32_off = decode_one c in
+  { insn; len = c.pos - c.start; imm32_off }
+
+(** Maximum encoded length of any instruction in the subset (prefix +
+    opcode + modrm + sib + disp32 + imm32). *)
+let max_len = 12

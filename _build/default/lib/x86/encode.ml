@@ -1,0 +1,302 @@
+(** Binary encoder (assembler back end) for the IA-32 subset.
+
+    Emits canonical encodings: long immediate forms (0x81 rather than
+    0x83/0x04/0x05) and rel32 branches, so instruction lengths do not
+    depend on operand values or layout, which keeps assembly single-pass.
+    [Decode.decode] of the output always yields the input AST — a
+    property-tested invariant. *)
+
+open Insn
+
+type encoded = {
+  bytes : Bytes.t;
+  imm32_off : int option;
+      (** offset of a 32-bit data immediate within [bytes], if any;
+          matches [Decode.fetched.imm32_off] *)
+}
+
+let fits_s8 v =
+  let v = v land 0xffffffff in
+  let s = if v land 0x80000000 <> 0 then v - 0x100000000 else v in
+  s >= -128 && s <= 127
+
+type b = { buf : Buffer.t; mutable imm_off : int option }
+
+let byte b v = Buffer.add_char b.buf (Char.chr (v land 0xff))
+
+let i16 b v =
+  byte b v;
+  byte b (v lsr 8)
+
+let i32 b v =
+  byte b v;
+  byte b (v lsr 8);
+  byte b (v lsr 16);
+  byte b (v lsr 24)
+
+let imm32_here b v =
+  b.imm_off <- Some (Buffer.length b.buf);
+  i32 b v
+
+(* ------------------------------------------------------------------ *)
+(* ModRM / SIB emission                                                *)
+(* ------------------------------------------------------------------ *)
+
+let emit_modrm b ~reg rm =
+  let modrm md reg rm = byte b ((md lsl 6) lor (reg lsl 3) lor rm) in
+  match rm with
+  | R r -> modrm 3 reg r
+  | M { base; index; disp } -> (
+      let disp = disp land 0xffffffff in
+      let sib scale idx bse =
+        let s =
+          match scale with
+          | 1 -> 0
+          | 2 -> 1
+          | 4 -> 2
+          | 8 -> 3
+          | _ -> invalid_arg "Encode: bad scale"
+        in
+        byte b ((s lsl 6) lor (idx lsl 3) lor bse)
+      in
+      (match index with
+      | Some (i, _) when i = Regs.esp -> invalid_arg "Encode: esp as index"
+      | _ -> ());
+      match (base, index) with
+      | None, None ->
+          (* [disp32] *)
+          modrm 0 reg 5;
+          i32 b disp
+      | None, Some (idx, scale) ->
+          (* [index*scale + disp32] : SIB with base=101, mod=0 *)
+          modrm 0 reg 4;
+          sib scale idx 5;
+          i32 b disp
+      | Some bse, idx -> (
+          let need_sib = idx <> None || bse = Regs.esp in
+          let md =
+            if disp = 0 && bse <> Regs.ebp then 0
+            else if fits_s8 disp then 1
+            else 2
+          in
+          let emit_disp () =
+            match md with
+            | 0 -> ()
+            | 1 -> byte b disp
+            | _ -> i32 b disp
+          in
+          match (need_sib, idx) with
+          | false, _ ->
+              modrm md reg bse;
+              emit_disp ()
+          | true, Some (i, scale) ->
+              modrm md reg 4;
+              sib scale i bse;
+              emit_disp ()
+          | true, None ->
+              (* base = esp: SIB with index = none (100) *)
+              modrm md reg 4;
+              sib 1 4 bse;
+              emit_disp ()))
+
+(* ------------------------------------------------------------------ *)
+(* Instruction emission                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [at] is the address the instruction will live at; needed for rel32
+   branch displacements. *)
+let emit b ~at insn =
+  let rel32 opbytes target =
+    List.iter (byte b) opbytes;
+    let next = at + List.length opbytes + 4 in
+    i32 b ((target - next) land 0xffffffff)
+  in
+  match insn with
+  | Arith (op, sz, ops) -> (
+      let base = arith_digit op lsl 3 in
+      match (sz, ops) with
+      | S8, RM_R (rm, r) ->
+          byte b base;
+          emit_modrm b ~reg:r rm
+      | S32, RM_R (rm, r) ->
+          byte b (base + 1);
+          emit_modrm b ~reg:r rm
+      | S8, R_RM (r, rm) ->
+          byte b (base + 2);
+          emit_modrm b ~reg:r rm
+      | S32, R_RM (r, rm) ->
+          byte b (base + 3);
+          emit_modrm b ~reg:r rm
+      | S8, RM_I (rm, i) ->
+          byte b 0x80;
+          emit_modrm b ~reg:(arith_digit op) rm;
+          byte b i
+      | S32, RM_I (rm, i) ->
+          byte b 0x81;
+          emit_modrm b ~reg:(arith_digit op) rm;
+          imm32_here b i)
+  | Test (sz, rm, T_R r) ->
+      byte b (match sz with S8 -> 0x84 | S32 -> 0x85);
+      emit_modrm b ~reg:r rm
+  | Test (sz, rm, T_I i) -> (
+      byte b (match sz with S8 -> 0xf6 | S32 -> 0xf7);
+      emit_modrm b ~reg:0 rm;
+      match sz with S8 -> byte b i | S32 -> imm32_here b i)
+  | Mov (sz, ops) -> (
+      match (sz, ops) with
+      | S8, RM_R (rm, r) ->
+          byte b 0x88;
+          emit_modrm b ~reg:r rm
+      | S32, RM_R (rm, r) ->
+          byte b 0x89;
+          emit_modrm b ~reg:r rm
+      | S8, R_RM (r, rm) ->
+          byte b 0x8a;
+          emit_modrm b ~reg:r rm
+      | S32, R_RM (r, rm) ->
+          byte b 0x8b;
+          emit_modrm b ~reg:r rm
+      | S8, RM_I (R r, i) ->
+          byte b (0xb0 + r);
+          byte b i
+      | S32, RM_I (R r, i) ->
+          byte b (0xb8 + r);
+          imm32_here b i
+      | S8, RM_I ((M _ as rm), i) ->
+          byte b 0xc6;
+          emit_modrm b ~reg:0 rm;
+          byte b i
+      | S32, RM_I ((M _ as rm), i) ->
+          byte b 0xc7;
+          emit_modrm b ~reg:0 rm;
+          imm32_here b i)
+  | Movx { sign; dst; src } ->
+      byte b 0x0f;
+      byte b (if sign then 0xbe else 0xb6);
+      emit_modrm b ~reg:dst src
+  | Lea (r, m) ->
+      byte b 0x8d;
+      emit_modrm b ~reg:r (M m)
+  | Xchg (sz, rm, r) ->
+      byte b (match sz with S8 -> 0x86 | S32 -> 0x87);
+      emit_modrm b ~reg:r rm
+  | Inc (S32, R r) -> byte b (0x40 + r)
+  | Dec (S32, R r) -> byte b (0x48 + r)
+  | Inc (sz, rm) ->
+      byte b (match sz with S8 -> 0xfe | S32 -> 0xff);
+      emit_modrm b ~reg:0 rm
+  | Dec (sz, rm) ->
+      byte b (match sz with S8 -> 0xfe | S32 -> 0xff);
+      emit_modrm b ~reg:1 rm
+  | Not (sz, rm) ->
+      byte b (match sz with S8 -> 0xf6 | S32 -> 0xf7);
+      emit_modrm b ~reg:2 rm
+  | Neg (sz, rm) ->
+      byte b (match sz with S8 -> 0xf6 | S32 -> 0xf7);
+      emit_modrm b ~reg:3 rm
+  | Shift (op, sz, rm, count) -> (
+      let digit = shift_digit op in
+      match count with
+      | C1 ->
+          byte b (match sz with S8 -> 0xd0 | S32 -> 0xd1);
+          emit_modrm b ~reg:digit rm
+      | Ccl ->
+          byte b (match sz with S8 -> 0xd2 | S32 -> 0xd3);
+          emit_modrm b ~reg:digit rm
+      | Cimm i ->
+          byte b (match sz with S8 -> 0xc0 | S32 -> 0xc1);
+          emit_modrm b ~reg:digit rm;
+          byte b i)
+  | Mul (sz, rm) ->
+      byte b (match sz with S8 -> 0xf6 | S32 -> 0xf7);
+      emit_modrm b ~reg:4 rm
+  | Imul1 (sz, rm) ->
+      byte b (match sz with S8 -> 0xf6 | S32 -> 0xf7);
+      emit_modrm b ~reg:5 rm
+  | Imul2 (r, rm) ->
+      byte b 0x0f;
+      byte b 0xaf;
+      emit_modrm b ~reg:r rm
+  | Div (sz, rm) ->
+      byte b (match sz with S8 -> 0xf6 | S32 -> 0xf7);
+      emit_modrm b ~reg:6 rm
+  | Idiv (sz, rm) ->
+      byte b (match sz with S8 -> 0xf6 | S32 -> 0xf7);
+      emit_modrm b ~reg:7 rm
+  | Cdq -> byte b 0x99
+  | Push (PushR r) -> byte b (0x50 + r)
+  | Push (PushI i) ->
+      byte b 0x68;
+      imm32_here b i
+  | Push (PushM m) ->
+      byte b 0xff;
+      emit_modrm b ~reg:6 (M m)
+  | Pop (R r) -> byte b (0x58 + r)
+  | Pop (M _ as rm) ->
+      byte b 0x8f;
+      emit_modrm b ~reg:0 rm
+  | Pushf -> byte b 0x9c
+  | Popf -> byte b 0x9d
+  | Jcc (cc, target) -> rel32 [ 0x0f; 0x80 + Cond.to_code cc ] target
+  | Setcc (cc, rm) ->
+      byte b 0x0f;
+      byte b (0x90 + Cond.to_code cc);
+      emit_modrm b ~reg:0 rm
+  | Jmp target -> rel32 [ 0xe9 ] target
+  | JmpInd rm ->
+      byte b 0xff;
+      emit_modrm b ~reg:4 rm
+  | Call target -> rel32 [ 0xe8 ] target
+  | CallInd rm ->
+      byte b 0xff;
+      emit_modrm b ~reg:2 rm
+  | Ret 0 -> byte b 0xc3
+  | Ret n ->
+      byte b 0xc2;
+      i16 b n
+  | Int3 -> byte b 0xcc
+  | Int v ->
+      byte b 0xcd;
+      byte b v
+  | Iret -> byte b 0xcf
+  | In (S8, PortImm p) ->
+      byte b 0xe4;
+      byte b p
+  | In (S32, PortImm p) ->
+      byte b 0xe5;
+      byte b p
+  | Out (S8, PortImm p) ->
+      byte b 0xe6;
+      byte b p
+  | Out (S32, PortImm p) ->
+      byte b 0xe7;
+      byte b p
+  | In (S8, PortDx) -> byte b 0xec
+  | In (S32, PortDx) -> byte b 0xed
+  | Out (S8, PortDx) -> byte b 0xee
+  | Out (S32, PortDx) -> byte b 0xef
+  | Hlt -> byte b 0xf4
+  | Nop -> byte b 0x90
+  | Cli -> byte b 0xfa
+  | Sti -> byte b 0xfb
+  | Strop { rep; op; size } ->
+      if rep then byte b 0xf3;
+      byte b
+        (match (op, size) with
+        | Movs, S8 -> 0xa4
+        | Movs, S32 -> 0xa5
+        | Stos, S8 -> 0xaa
+        | Stos, S32 -> 0xab)
+  | Lidt m ->
+      byte b 0x0f;
+      byte b 0x01;
+      emit_modrm b ~reg:3 (M m)
+
+(** Encode [insn] as if placed at address [at]. *)
+let encode ~at insn =
+  let b = { buf = Buffer.create 8; imm_off = None } in
+  emit b ~at insn;
+  { bytes = Buffer.to_bytes b.buf; imm32_off = b.imm_off }
+
+(** Encoded length; independent of placement (canonical forms only). *)
+let length insn = Bytes.length (encode ~at:0 insn).bytes

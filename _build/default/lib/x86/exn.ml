@@ -1,0 +1,53 @@
+(** Architectural x86 exceptions (faults) for the subset.
+
+    These are *target*-level events: they must be reflected to the guest
+    via its interrupt table with precise state (all earlier instructions
+    complete, the faulting one and all later ones not).  They are distinct
+    from the VLIW host's native exceptions ([Vliw.Nexn]), which are
+    implementation artifacts handled internally by CMS. *)
+
+type fault =
+  | DE  (** divide error *)
+  | UD  (** invalid opcode *)
+  | BP  (** breakpoint (INT3) *)
+  | GP of int  (** general protection, with error code *)
+  | PF of { addr : int; write : bool; present : bool }
+      (** page fault: faulting linear address, access kind, and whether
+          the page was present (protection) or not (not-present) *)
+
+(** Interrupt vector numbers, as on real IA-32. *)
+let vector = function
+  | DE -> 0
+  | BP -> 3
+  | UD -> 6
+  | GP _ -> 13
+  | PF _ -> 14
+
+let error_code = function
+  | DE | UD | BP -> None
+  | GP c -> Some c
+  | PF { write; present; _ } ->
+      Some ((if present then 1 else 0) lor if write then 2 else 0)
+
+(** Faults are delivered by raising this exception from instruction
+    semantics; the interpreter catches it at the instruction boundary. *)
+exception Fault of fault
+
+let pp fmt = function
+  | DE -> Fmt.string fmt "#DE"
+  | UD -> Fmt.string fmt "#UD"
+  | BP -> Fmt.string fmt "#BP"
+  | GP c -> Fmt.pf fmt "#GP(%d)" c
+  | PF { addr; write; present } ->
+      Fmt.pf fmt "#PF(addr=0x%x,%s,%s)" addr
+        (if write then "write" else "read")
+        (if present then "prot" else "not-present")
+
+let to_string f = Fmt.str "%a" pp f
+
+let equal a b =
+  match (a, b) with
+  | DE, DE | UD, UD | BP, BP -> true
+  | GP x, GP y -> x = y
+  | PF a, PF b -> a.addr = b.addr && a.write = b.write && a.present = b.present
+  | _ -> false

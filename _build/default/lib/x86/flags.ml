@@ -1,0 +1,324 @@
+(** EFLAGS semantics for the IA-32 subset.
+
+    This module is the single source of truth for x86 arithmetic-flag
+    behaviour.  The interpreter, the translator's constant folder, and the
+    VLIW host's x86-flavoured ALU atoms all call these functions, so the
+    three agree by construction — a property the CMS recovery machinery
+    depends on (re-interpreting a rolled-back translation must reproduce
+    the exact state the translation would have produced).
+
+    Values are stored as an OCaml [int] using the real EFLAGS bit layout.
+    All arithmetic is on 32-bit (or 8-bit) values held in the low bits of
+    an OCaml int; results are always masked. *)
+
+type t = int
+
+(* Real IA-32 bit positions. *)
+let cf_bit = 0
+let pf_bit = 2
+let af_bit = 4
+let zf_bit = 6
+let sf_bit = 7
+let if_bit = 9
+let of_bit = 11
+
+let cf_mask = 1 lsl cf_bit
+let pf_mask = 1 lsl pf_bit
+let af_mask = 1 lsl af_bit
+let zf_mask = 1 lsl zf_bit
+let sf_mask = 1 lsl sf_bit
+let if_mask = 1 lsl if_bit
+let of_mask = 1 lsl of_bit
+
+(* Bit 1 of EFLAGS is always 1 on real hardware. *)
+let reserved = 0x2
+let initial = reserved
+
+(* All the bits arithmetic instructions may touch. *)
+let status_mask = cf_mask lor pf_mask lor af_mask lor zf_mask lor sf_mask lor of_mask
+
+let cf f = f land cf_mask <> 0
+let pf f = f land pf_mask <> 0
+let af f = f land af_mask <> 0
+let zf f = f land zf_mask <> 0
+let sf f = f land sf_mask <> 0
+let interrupts_enabled f = f land if_mask <> 0
+let of_ f = f land of_mask <> 0
+
+let set_if f b = if b then f lor if_mask else f land lnot if_mask
+
+type size = S8 | S32
+
+let bits = function S8 -> 8 | S32 -> 32
+let mask = function S8 -> 0xff | S32 -> 0xffffffff
+let sign_mask = function S8 -> 0x80 | S32 -> 0x80000000
+
+(** Sign-extend a [size]-sized value to a signed OCaml int. *)
+let sext sz v =
+  let v = v land mask sz in
+  if v land sign_mask sz <> 0 then v - (mask sz + 1) else v
+
+(** Truncate to size. *)
+let trunc sz v = v land mask sz
+
+let parity_even v =
+  let v = v land 0xff in
+  let v = v lxor (v lsr 4) in
+  let v = v lxor (v lsr 2) in
+  let v = v lxor (v lsr 1) in
+  v land 1 = 0
+
+(* Compose the six status flags; [old] supplies the untouched bits. *)
+let compose ~old ~cf ~pf ~af ~zf ~sf ~ovf =
+  let f = old land lnot status_mask in
+  let f = if cf then f lor cf_mask else f in
+  let f = if pf then f lor pf_mask else f in
+  let f = if af then f lor af_mask else f in
+  let f = if zf then f lor zf_mask else f in
+  let f = if sf then f lor sf_mask else f in
+  if ovf then f lor of_mask else f
+
+let szp sz r = ((r land mask sz) = 0, r land sign_mask sz <> 0, parity_even r)
+
+(* ------------------------------------------------------------------ *)
+(* Addition / subtraction                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_c sz fl a b carry_in =
+  let a = trunc sz a and b = trunc sz b in
+  let cin = if carry_in then 1 else 0 in
+  let full = a + b + cin in
+  let r = trunc sz full in
+  let carry = full > mask sz in
+  let ovf =
+    let sa = a land sign_mask sz <> 0
+    and sb = b land sign_mask sz <> 0
+    and sr = r land sign_mask sz <> 0 in
+    sa = sb && sa <> sr
+  in
+  let auxc = (a land 0xf) + (b land 0xf) + cin > 0xf in
+  let zf, sf, pf = szp sz r in
+  (r, compose ~old:fl ~cf:carry ~pf ~af:auxc ~zf ~sf ~ovf)
+
+let add sz fl a b = add_c sz fl a b false
+let adc sz fl a b = add_c sz fl a b (cf fl)
+
+let sub_b sz fl a b borrow_in =
+  let a = trunc sz a and b = trunc sz b in
+  let bin = if borrow_in then 1 else 0 in
+  let full = a - b - bin in
+  let r = trunc sz full in
+  let carry = full < 0 in
+  let ovf =
+    let sa = a land sign_mask sz <> 0
+    and sb = b land sign_mask sz <> 0
+    and sr = r land sign_mask sz <> 0 in
+    sa <> sb && sa <> sr
+  in
+  let auxc = (a land 0xf) - (b land 0xf) - bin < 0 in
+  let zf, sf, pf = szp sz r in
+  (r, compose ~old:fl ~cf:carry ~pf ~af:auxc ~zf ~sf ~ovf)
+
+let sub sz fl a b = sub_b sz fl a b false
+let sbb sz fl a b = sub_b sz fl a b (cf fl)
+let cmp sz fl a b = snd (sub sz fl a b)
+
+(* INC/DEC preserve CF. *)
+let inc sz fl a =
+  let r, f = add sz fl a 1 in
+  (r, (f land lnot cf_mask) lor (fl land cf_mask))
+
+let dec sz fl a =
+  let r, f = sub sz fl a 1 in
+  (r, (f land lnot cf_mask) lor (fl land cf_mask))
+
+let neg sz fl a =
+  let r, f = sub sz fl 0 a in
+  (* NEG: CF = (src <> 0). The generic sub already computes that. *)
+  (r, f)
+
+(* ------------------------------------------------------------------ *)
+(* Logic                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let logic sz fl r =
+  let r = trunc sz r in
+  let zf, sf, pf = szp sz r in
+  (r, compose ~old:fl ~cf:false ~pf ~af:false ~zf ~sf ~ovf:false)
+
+let and_ sz fl a b = logic sz fl (a land b)
+let or_ sz fl a b = logic sz fl (a lor b)
+let xor sz fl a b = logic sz fl (a lxor b)
+let test sz fl a b = snd (and_ sz fl a b)
+
+(* ------------------------------------------------------------------ *)
+(* Shifts and rotates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* x86 masks shift counts to 5 bits.  Count 0 leaves flags unchanged.
+   OF is architecturally defined only for count 1; we define it by the
+   count-1 formula for all counts (documented deviation, consistent
+   everywhere in this system). *)
+
+let shl sz fl a count =
+  let count = count land 0x1f in
+  if count = 0 then (trunc sz a, fl)
+  else
+    let a = trunc sz a in
+    let n = bits sz in
+    let carry = count <= n && a land (1 lsl (n - count)) <> 0 in
+    let r = trunc sz (a lsl count) in
+    let zf, sf, pf = szp sz r in
+    let ovf = carry <> (r land sign_mask sz <> 0) in
+    (r, compose ~old:fl ~cf:carry ~pf ~af:false ~zf ~sf ~ovf)
+
+let shr sz fl a count =
+  let count = count land 0x1f in
+  if count = 0 then (trunc sz a, fl)
+  else
+    let a = trunc sz a in
+    let carry = count <= bits sz && a land (1 lsl (count - 1)) <> 0 in
+    let r = a lsr count in
+    let zf, sf, pf = szp sz r in
+    let ovf = a land sign_mask sz <> 0 in
+    (r, compose ~old:fl ~cf:carry ~pf ~af:false ~zf ~sf ~ovf)
+
+let sar sz fl a count =
+  let count = count land 0x1f in
+  if count = 0 then (trunc sz a, fl)
+  else
+    let a = sext sz a in
+    let carry = a asr (count - 1) land 1 <> 0 in
+    let r = trunc sz (a asr count) in
+    let zf, sf, pf = szp sz r in
+    (r, compose ~old:fl ~cf:carry ~pf ~af:false ~zf ~sf ~ovf:false)
+
+let rol sz fl a count =
+  let n = bits sz in
+  let count = count land 0x1f in
+  if count = 0 then (trunc sz a, fl)
+  else
+    let c = count mod n in
+    let a = trunc sz a in
+    let r = if c = 0 then a else trunc sz ((a lsl c) lor (a lsr (n - c))) in
+    let carry = r land 1 <> 0 in
+    let ovf = carry <> (r land sign_mask sz <> 0) in
+    let fl = if carry then fl lor cf_mask else fl land lnot cf_mask in
+    let fl = if ovf then fl lor of_mask else fl land lnot of_mask in
+    (r, fl)
+
+let ror sz fl a count =
+  let n = bits sz in
+  let count = count land 0x1f in
+  if count = 0 then (trunc sz a, fl)
+  else
+    let c = count mod n in
+    let a = trunc sz a in
+    let r = if c = 0 then a else trunc sz ((a lsr c) lor (a lsl (n - c))) in
+    let msb = r land sign_mask sz <> 0 in
+    let msb2 = r land (sign_mask sz lsr 1) <> 0 in
+    let fl = if msb then fl lor cf_mask else fl land lnot cf_mask in
+    let fl = if msb <> msb2 then fl lor of_mask else fl land lnot of_mask in
+    (r, fl)
+
+(* ------------------------------------------------------------------ *)
+(* Multiply / divide                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* MUL/IMUL: CF/OF indicate significant upper half.  ZF/SF/PF are
+   architecturally undefined; we define them from the low result and set
+   AF = 0 (documented, used consistently system-wide). *)
+
+(* 32x32 products and 64/32 divides exceed OCaml's 63-bit [int]; do the
+   wide arithmetic in [Int64] and come back to masked ints. *)
+
+let mul sz fl a b =
+  let a = trunc sz a and b = trunc sz b in
+  let full = Int64.mul (Int64.of_int a) (Int64.of_int b) in
+  let lo = Int64.to_int (Int64.logand full 0xffffffffL) land mask sz in
+  let hi =
+    Int64.to_int (Int64.shift_right_logical full (bits sz)) land mask sz
+  in
+  let over = hi <> 0 in
+  let zf, sf, pf = szp sz lo in
+  (lo, hi, compose ~old:fl ~cf:over ~pf ~af:false ~zf ~sf ~ovf:over)
+
+let imul sz fl a b =
+  let a = sext sz a and b = sext sz b in
+  let full = Int64.mul (Int64.of_int a) (Int64.of_int b) in
+  let lo = Int64.to_int (Int64.logand full (Int64.of_int (mask sz))) in
+  let hi =
+    Int64.to_int (Int64.shift_right full (bits sz)) land mask sz
+  in
+  let over = full <> Int64.of_int (sext sz lo) in
+  let zf, sf, pf = szp sz lo in
+  (lo, hi, compose ~old:fl ~cf:over ~pf ~af:false ~zf ~sf ~ovf:over)
+
+(** [div sz hi lo divisor] returns [Some (quot, rem)] or [None] on a #DE
+    condition (divide by zero or quotient overflow).  Unsigned. *)
+let div sz hi lo divisor =
+  let divisor = trunc sz divisor in
+  if divisor = 0 then None
+  else
+    let dividend =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (trunc sz hi)) (bits sz))
+        (Int64.of_int (trunc sz lo))
+    in
+    let d = Int64.of_int divisor in
+    let q = Int64.unsigned_div dividend d
+    and r = Int64.unsigned_rem dividend d in
+    if Int64.unsigned_compare q (Int64.of_int (mask sz)) > 0 then None
+    else Some (Int64.to_int q, Int64.to_int r)
+
+(** Signed division; dividend is hi:lo two's complement. *)
+let idiv sz hi lo divisor =
+  let divisor = sext sz divisor in
+  if divisor = 0 then None
+  else
+    let dividend =
+      Int64.logor
+        (Int64.shift_left (Int64.of_int (sext sz hi)) (bits sz))
+        (Int64.of_int (trunc sz lo))
+    in
+    let d = Int64.of_int divisor in
+    (* Int64 division truncates toward zero, same as x86 IDIV. *)
+    let q = Int64.div dividend d and r = Int64.rem dividend d in
+    if
+      Int64.compare q (Int64.of_int (sext sz (sign_mask sz - 1))) > 0
+      || Int64.compare q (Int64.of_int (sext sz (sign_mask sz))) < 0
+    then None
+    else Some (Int64.to_int q land mask sz, Int64.to_int r land mask sz)
+
+(* ------------------------------------------------------------------ *)
+(* Condition evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cond (c : Cond.t) f =
+  match c with
+  | Cond.O -> of_ f
+  | NO -> not (of_ f)
+  | B -> cf f
+  | AE -> not (cf f)
+  | E -> zf f
+  | NE -> not (zf f)
+  | BE -> cf f || zf f
+  | A -> not (cf f || zf f)
+  | S -> sf f
+  | NS -> not (sf f)
+  | P -> pf f
+  | NP -> not (pf f)
+  | L -> sf f <> of_ f
+  | GE -> sf f = of_ f
+  | LE -> zf f || sf f <> of_ f
+  | G -> (not (zf f)) && sf f = of_ f
+
+let pp fmt f =
+  Fmt.pf fmt "[%s%s%s%s%s%s%s]"
+    (if cf f then "C" else "-")
+    (if pf f then "P" else "-")
+    (if af f then "A" else "-")
+    (if zf f then "Z" else "-")
+    (if sf f then "S" else "-")
+    (if of_ f then "O" else "-")
+    (if interrupts_enabled f then "I" else "-")

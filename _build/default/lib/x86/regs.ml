@@ -1,0 +1,42 @@
+(** General-purpose register names for the IA-32 subset.
+
+    Registers are represented as plain integers 0..7 using the hardware
+    encoding (the [reg] field of ModRM).  8-bit registers reuse the same
+    numbering: 0..3 are AL..BL (low byte of GPR 0..3) and 4..7 are AH..BH
+    (bits 8..15 of GPR 0..3), exactly as in IA-32. *)
+
+type t = int
+
+let eax = 0
+let ecx = 1
+let edx = 2
+let ebx = 3
+let esp = 4
+let ebp = 5
+let esi = 6
+let edi = 7
+
+let all = [ eax; ecx; edx; ebx; esp; ebp; esi; edi ]
+
+let name32 = [| "eax"; "ecx"; "edx"; "ebx"; "esp"; "ebp"; "esi"; "edi" |]
+let name8 = [| "al"; "cl"; "dl"; "bl"; "ah"; "ch"; "dh"; "bh" |]
+
+let pp32 fmt r = Fmt.string fmt name32.(r)
+let pp8 fmt r = Fmt.string fmt name8.(r)
+
+(** [gpr_of_r8 r] is the 32-bit register backing 8-bit register [r],
+    paired with the bit shift of the byte within it (0 or 8). *)
+let gpr_of_r8 r = if r < 4 then (r, 0) else (r - 4, 8)
+
+(** Read the 8-bit register [r] out of a function giving 32-bit values. *)
+let read8 ~read32 r =
+  let g, sh = gpr_of_r8 r in
+  (read32 g lsr sh) land 0xff
+
+(** Compute the new 32-bit value of the GPR backing 8-bit register [r]
+    after storing byte [v] into it. *)
+let write8 ~read32 r v =
+  let g, sh = gpr_of_r8 r in
+  let old = read32 g in
+  let masked = old land lnot (0xff lsl sh) in
+  (g, masked lor ((v land 0xff) lsl sh))

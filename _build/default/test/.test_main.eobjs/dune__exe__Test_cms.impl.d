@@ -1,0 +1,1 @@
+test/test_cms.ml: Alcotest Asm Cms Cond Dump Fmt Insn List Machine QCheck QCheck_alcotest Regs String Vliw X86

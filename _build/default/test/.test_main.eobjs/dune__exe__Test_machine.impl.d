@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Bus Bytes Char Finegrain Framebuf Int64 Irq List Machine Mem Mmu Platform Uart X86

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_cms Test_machine Test_props Test_smc Test_vliw Test_workloads Test_x86

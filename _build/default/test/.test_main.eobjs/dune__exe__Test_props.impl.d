@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Asm Bytes Char Cms Decode Encode Exn Fmt Gen Insn List QCheck QCheck_alcotest X86

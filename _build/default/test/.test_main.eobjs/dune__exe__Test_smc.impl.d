@@ -1,0 +1,1 @@
+test/test_smc.ml: Alcotest Asm Bytes Cms Fmt Insn List Machine Option Regs X86

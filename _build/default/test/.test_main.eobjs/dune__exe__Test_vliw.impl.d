@@ -1,0 +1,1 @@
+test/test_vliw.ml: Abi Alcotest Alias Array Atom Bytes Char Code Exec Int32 List Machine Molecule Nexn Perf Regfile Result Storebuf Vliw X86

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cms Fmt List Workloads X86

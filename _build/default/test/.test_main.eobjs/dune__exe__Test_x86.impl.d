@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Array Asm Bytes Char Cond Decode Encode Exn Flags Insn List QCheck QCheck_alcotest Regs X86

@@ -1,0 +1,2 @@
+(* Aggregates all test suites into one alcotest runner. *)
+let () = Alcotest.run "cms-repro" (Test_x86.suites @ Test_machine.suites @ Test_vliw.suites @ Test_cms.suites @ Test_smc.suites @ Test_workloads.suites @ Test_props.suites)
