@@ -1,0 +1,108 @@
+(* cmsverify: sweep the workload suite with the translation verifier
+   collecting diagnostics, and print a per-rule violation table.
+
+     dune exec bin/cmsverify.exe                    # whole suite
+     dune exec bin/cmsverify.exe -- -w "026.compress (Linux)"
+     dune exec bin/cmsverify.exe -- --json
+
+   Exits non-zero if any translation violated a verifier rule. *)
+
+module Suite = Workloads.Suite
+
+let all_workloads () =
+  Workloads.Progs_boot.all @ Workloads.Progs_spec.all
+  @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
+  @ [ Workloads.Progs_quake.blt_driver () ]
+
+let run_cmd name json threshold force_selfcheck =
+  let wl =
+    match name with
+    | None -> all_workloads ()
+    | Some n -> List.filter (fun w -> w.Suite.name = n) (all_workloads ())
+  in
+  if wl = [] then
+    `Error (false, "unknown workload (run cmsrun --list for names)")
+  else begin
+    let cfg =
+      {
+        Cms.Config.default with
+        Cms.Config.verify_translations = true;
+        translate_threshold = threshold;
+        force_self_check = force_selfcheck;
+      }
+    in
+    let diags = ref [] in
+    let translations = ref 0 in
+    let verified = ref 0 in
+    Cms_analysis.Pipeline.install_collect (fun d -> diags := d :: !diags);
+    List.iter
+      (fun w ->
+        if not json then Fmt.pr "%-36s %!" w.Suite.name;
+        let before = List.length !diags in
+        let t = Suite.run ~cfg w in
+        let s = Cms.stats t in
+        translations := !translations + s.Cms.Stats.translations;
+        verified := !verified + s.Cms.Stats.translations_verified;
+        if not json then
+          Fmt.pr "%4d translations  %d violations@." s.Cms.Stats.translations
+            (List.length !diags - before))
+      wl;
+    Cms_analysis.Pipeline.uninstall ();
+    let diags = List.rev !diags in
+    let violations = List.length diags in
+    if json then begin
+      let counts =
+        Cms_analysis.Pipeline.rule_counts diags
+        |> List.map (fun (r, _, _, n) -> Fmt.str "\"%s\":%d" r n)
+        |> String.concat ","
+      in
+      let ds =
+        List.map Cms_analysis.Diag.to_json diags |> String.concat ","
+      in
+      Fmt.pr
+        "{\"workloads\":%d,\"translations\":%d,\"verified\":%d,\
+         \"violations\":%d,\"rules\":{%s},\"diags\":[%s]}@."
+        (List.length wl) !translations !verified violations counts ds
+    end
+    else begin
+      Fmt.pr "@.%a@." Cms_analysis.Pipeline.pp_table diags;
+      Fmt.pr "%d workloads, %d translations (%d verified), %d violations@."
+        (List.length wl) !translations !verified violations;
+      List.iter (fun d -> Fmt.pr "  %a@." Cms_analysis.Diag.pp d) diags
+    end;
+    if violations > 0 then exit 1;
+    `Ok ()
+  end
+
+open Cmdliner
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Verify only this workload.")
+
+let json =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report on stdout.")
+
+let threshold =
+  Arg.(
+    value & opt int 4
+    & info [ "threshold" ] ~docv:"N"
+        ~doc:"Interpreter executions before translating (low = translate \
+              aggressively so the verifier sees more code).")
+
+let force_selfcheck =
+  Arg.(
+    value & flag
+    & info [ "force-self-check" ]
+        ~doc:"Make every translation self-checking (exercises the \
+              alias-guard rules everywhere).")
+
+let cmd =
+  let doc = "statically verify every translation the suite produces" in
+  Cmd.v
+    (Cmd.info "cmsverify" ~doc)
+    Term.(ret (const run_cmd $ workload_arg $ json $ threshold $ force_selfcheck))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,48 @@
+(** Abstract machine state for the linear molecule walk.
+
+    {!Tverify} walks the scheduled molecules in layout order, atoms in
+    slot order (the scheduler orders slots by program index, and the
+    execution engine applies phase-2 effects in slot order, so this is
+    execution order within a molecule).  The state tracks exactly what
+    commit/rollback manipulate: the gated store buffer, the
+    shadowed guest registers, and the alias hardware slots.  Layout
+    order over-approximates any real path between two commits — every
+    stub commits before exiting — so checks against this state are
+    sound without a CFG. *)
+
+module ISet = Set.Make (Int)
+
+type t = {
+  mutable pending_stores : int;
+      (** stores sitting in the gated store buffer since the last commit *)
+  mutable dirty_guest : ISet.t;
+      (** shadowed guest registers written since the last commit *)
+  mutable armed_guard : ISet.t;
+      (** alias slots armed by [ArmRange] (source-range guards, §3.6.3);
+          every store must check these *)
+  mutable armed : ISet.t;
+      (** all armed alias slots — [ArmRange] plus load [protect] *)
+  mutable tmp_defined : ISet.t;
+      (** host temporaries defined in an earlier molecule (never reset:
+          temporaries are not shadowed, so commits do not touch them) *)
+}
+
+let create () =
+  {
+    pending_stores = 0;
+    dirty_guest = ISet.empty;
+    armed_guard = ISet.empty;
+    armed = ISet.empty;
+    tmp_defined = ISet.empty;
+  }
+
+(** Commit: drain the store buffer, shadow the guest registers, clear
+    the alias slots (mirrors {!Vliw.Exec.commit}). *)
+let commit t =
+  t.pending_stores <- 0;
+  t.dirty_guest <- ISet.empty;
+  t.armed_guard <- ISet.empty;
+  t.armed <- ISet.empty
+
+let pp_regs fmt s =
+  Fmt.(list ~sep:comma (fmt "r%d")) fmt (ISet.elements s)

@@ -13,6 +13,37 @@ exception Too_big
     the translator retries with a smaller region *)
 
 (* ------------------------------------------------------------------ *)
+(* Translation verifier hook                                           *)
+(* ------------------------------------------------------------------ *)
+
+type verifier = {
+  lint_ir : stage:string -> entry:int -> ir:Ir.t -> Ir.item list -> string list;
+      (** static IR lint, run after lowering and again after
+          optimization; returns rendered diagnostics (empty = clean) *)
+  verify_code :
+    cfg:Config.t -> entry:int -> ninsns:int -> Vliw.Code.t -> string list;
+      (** static molecule verifier, run on every scheduled code block *)
+}
+
+exception Verify_failed of string
+(** a static verifier found an invariant violation; the translation is
+    rejected (this is a translator bug, not a guest-program condition) *)
+
+(* The verifier lives in the analysis library, which depends on this
+   one; it registers itself through this hook ([Cms_analysis.Pipeline]).
+   [Config.verify_translations] gates whether the hook is consulted. *)
+let verify_hook : verifier option ref = ref None
+
+let run_verifier ~(cfg : Config.t) f =
+  if cfg.Config.verify_translations then
+    match !verify_hook with
+    | None -> ()
+    | Some v -> (
+        match f v with
+        | [] -> ()
+        | diags -> raise (Verify_failed (String.concat "\n" diags)))
+
+(* ------------------------------------------------------------------ *)
 (* Self-checking translations (§3.6.3)                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -121,10 +152,13 @@ let take_snapshot mem (region : Region.t) =
 
 (** Compile a region under [policy].  [cfg] supplies hardware knobs. *)
 let compile ~(cfg : Config.t) ~(policy : Policy.t) ~mem (region : Region.t) =
+  let entry = region.Region.entry in
   let ir = Lower.lower ~policy region in
   let items = Ir.items ir in
+  run_verifier ~cfg (fun v -> v.lint_ir ~stage:"lower" ~entry ~ir items);
   let opt_stats = Opt.run ir items in
   let items = opt_stats.Opt.items in
+  run_verifier ~cfg (fun v -> v.lint_ir ~stage:"opt" ~entry ~ir items);
   (* self-check / snapshot *)
   let want_snapshot =
     policy.Policy.self_check || policy.Policy.self_reval
@@ -239,6 +273,8 @@ let compile ~(cfg : Config.t) ~(policy : Policy.t) ~mem (region : Region.t) =
   (match Vliw.Code.validate code with
   | Ok () -> ()
   | Error e -> failwith ("Codegen: invalid code: " ^ e));
+  run_verifier ~cfg (fun v ->
+      v.verify_code ~cfg ~entry ~ninsns:(Region.instruction_count region) code);
   { code; snapshot; opt_stats; unprotected = use_guards }
 
 (** A zero-instruction translation: interpret one instruction at

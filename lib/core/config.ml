@@ -54,6 +54,13 @@ type t = {
   (* --- debug --- *)
   validate_molecules : bool;
   enforce_latency : bool;
+  verify_translations : bool;
+      (** run the static translation verifier ({!Cms_analysis}) on the
+          IR after lowering/optimization and on every scheduled code
+          block; a violation makes {!Codegen} reject the translation.
+          Needs the verifier hook installed (the analysis library, the
+          tests and the CLIs install it); on by default under tests
+          via {!debug}. *)
 }
 
 let default =
@@ -86,7 +93,13 @@ let default =
     reval_cost_per_byte = 1;
     validate_molecules = false;
     enforce_latency = false;
+    verify_translations = false;
   }
 
 (** Debug variant with every hardware interlock on; used by tests. *)
-let debug = { default with validate_molecules = true; enforce_latency = true }
+let debug =
+  { default with
+    validate_molecules = true;
+    enforce_latency = true;
+    verify_translations = true;
+  }

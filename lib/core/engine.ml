@@ -102,6 +102,12 @@ let translate t entry =
             t.stats.Stats.insns_translated <- t.stats.Stats.insns_translated + n;
             t.stats.Stats.translated_atoms <-
               t.stats.Stats.translated_atoms + Vliw.Code.atom_count code;
+            if
+              t.cfg.Config.verify_translations
+              && Option.is_some !Codegen.verify_hook
+            then
+              t.stats.Stats.translations_verified <-
+                t.stats.Stats.translations_verified + 1;
             let tr =
               Tcache.insert ~unprotected t.tcache ~entry ~code ~region ~policy
                 ~snapshot

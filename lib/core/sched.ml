@@ -287,7 +287,12 @@ let schedule_segment ~opts ~slot_counter (ops : Ir.op array) =
     let n = Array.length nodes in
     let unscheduled = ref n in
     let cycle = ref 0 in
-    let molecules = ref [] in
+    (* one row per cycle: the placed nodes ([None] = explicit nop).
+       Atoms are extracted only after the speculative-load marking
+       below, which rewrites node atoms post-schedule — snapshotting
+       them here would silently drop the spec bits from the emitted
+       code. *)
+    let rows = ref [] in
     while !unscheduled > 0 do
       (* candidates ready at this cycle *)
       let cands =
@@ -340,7 +345,7 @@ let schedule_segment ~opts ~slot_counter (ops : Ir.op array) =
       match !placed with
       | [] ->
           (* exposed latency: the hardware needs an explicit nop *)
-          molecules := [| A.Nop |] :: !molecules;
+          rows := None :: !rows;
           incr cycle
       | ps ->
           (* atoms within a molecule are ordered by program index so
@@ -357,8 +362,7 @@ let schedule_segment ~opts ~slot_counter (ops : Ir.op array) =
                 nd.succs;
               decr unscheduled)
             ps;
-          molecules :=
-            Array.of_list (List.map (fun nd -> nd.op.Ir.atom) ps) :: !molecules;
+          rows := Some ps :: !rows;
           incr cycle
     done;
     (* --- latency padding at the segment end --- *)
@@ -373,7 +377,7 @@ let schedule_segment ~opts ~slot_counter (ops : Ir.op array) =
         if fin > !len then len := fin)
       nodes;
     while !cycle < !len do
-      molecules := [| A.Nop |] :: !molecules;
+      rows := None :: !rows;
       incr cycle
     done;
     (* --- speculative-load marking --- *)
@@ -395,7 +399,12 @@ let schedule_segment ~opts ~slot_counter (ops : Ir.op array) =
               nd.op.Ir.atom <- A.Load { l with spec = true }
         | _ -> ())
       nodes;
-    List.rev !molecules
+    (* emit: atom values are read only now, with all marks in place *)
+    List.rev_map
+      (function
+        | None -> [| A.Nop |]
+        | Some ps -> Array.of_list (List.map (fun nd -> nd.op.Ir.atom) ps))
+      !rows
   end
 
 (* ------------------------------------------------------------------ *)

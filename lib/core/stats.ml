@@ -13,6 +13,9 @@ type t = {
   mutable invalidations : int;
   mutable insns_translated : int;  (** x86 insns fed to the translator *)
   mutable translated_atoms : int;  (** emitted code size in atoms *)
+  mutable translations_verified : int;
+      (** translations accepted by the static verifier
+          ({!Config.verify_translations} on and a verifier installed) *)
   mutable spec_faults : int;  (** native faults that proved speculative *)
   mutable genuine_faults : int;  (** faults that reproduced under interp *)
   mutable irq_delivered : int;
@@ -38,6 +41,7 @@ let create () =
     invalidations = 0;
     insns_translated = 0;
     translated_atoms = 0;
+    translations_verified = 0;
     spec_faults = 0;
     genuine_faults = 0;
     irq_delivered = 0;
@@ -70,10 +74,11 @@ let mpi t perf =
 
 let pp fmt t =
   Fmt.pf fmt
-    "x86[interp=%d trans=%d] translations=%d (re=%d inval=%d) \
+    "x86[interp=%d trans=%d] translations=%d (re=%d inval=%d verif=%d) \
      faults[spec=%d genuine=%d] irq[%d rb=%d] chain=%d lookups=%d \
      smc[fginst=%d reval=%d/%d scfail=%d group=%d] charged=%d"
     t.x86_interp t.x86_translated t.translations t.retranslations
-    t.invalidations t.spec_faults t.genuine_faults t.irq_delivered
-    t.irq_rollbacks t.chain_patches t.lookups t.fg_installs t.reval_hits
-    t.reval_checks t.selfcheck_fails t.group_hits t.charged_molecules
+    t.invalidations t.translations_verified t.spec_faults t.genuine_faults
+    t.irq_delivered t.irq_rollbacks t.chain_patches t.lookups t.fg_installs
+    t.reval_hits t.reval_checks t.selfcheck_fails t.group_hits
+    t.charged_molecules

@@ -1,2 +1,8 @@
-(* Aggregates all test suites into one alcotest runner. *)
-let () = Alcotest.run "cms-repro" (Test_x86.suites @ Test_machine.suites @ Test_vliw.suites @ Test_cms.suites @ Test_smc.suites @ Test_workloads.suites @ Test_props.suites)
+(* Aggregates all test suites into one alcotest runner.  The rejecting
+   translation verifier is installed for the whole run: every test that
+   compiles under Config.debug (verify_translations = true) has its
+   translations statically checked, and a violation fails the test via
+   Codegen.Verify_failed. *)
+let () = Cms_analysis.Pipeline.install ()
+
+let () = Alcotest.run "cms-repro" (Test_x86.suites @ Test_machine.suites @ Test_vliw.suites @ Test_cms.suites @ Test_smc.suites @ Test_workloads.suites @ Test_verify.suites @ Test_props.suites)

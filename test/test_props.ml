@@ -117,7 +117,7 @@ let prop_adapt_monotone =
 (* ------------------------------------------------------------------ *)
 
 let mk_engine () =
-  let t = Cms.create ~cfg:Cms.Config.default () in
+  let t = Cms.create ~cfg:Cms.Config.debug () in
   Cms.boot t ~entry:0x10000;
   t
 
@@ -192,7 +192,7 @@ let test_tcache_flush_on_capacity () =
       @ [ dec_r ecx; jne "loop"; hlt ])
   in
   let cfg =
-    { Cms.Config.default with
+    { Cms.Config.debug with
       Cms.Config.tcache_capacity = 4;
       translate_threshold = 3;
       max_region_insns = 6;
@@ -262,6 +262,39 @@ let test_wraparound_address () =
   let t, _ = Cms.run_listing ~cfg:Cms.interp_only_cfg prog ~entry:0x10000 in
   check ci "wrapped ea" 0xabcd (Cms.gpr t X86.Regs.eax)
 
+(* ------------------------------------------------------------------ *)
+(* Translation verifier over the whole suite                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every translation produced while running every workload — at an
+   aggressive translate threshold so nearly all guest code goes through
+   the translator — must pass the static verifier with zero
+   diagnostics.  Collecting mode is used so we see *all* violations in
+   one run rather than dying on the first. *)
+let test_suite_verifier_clean () =
+  let workloads =
+    Workloads.Progs_boot.all @ Workloads.Progs_spec.all
+    @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
+    @ [ Workloads.Progs_quake.blt_driver () ]
+  in
+  let cfg = { Cms.Config.debug with Cms.Config.translate_threshold = 4 } in
+  let translations = ref 0 in
+  let (), diags =
+    Cms_analysis.Pipeline.with_collect (fun () ->
+        List.iter
+          (fun w ->
+            let t = Workloads.Suite.run ~cfg w in
+            translations :=
+              !translations + (Cms.stats t).Cms.Stats.translations)
+          workloads)
+  in
+  (match diags with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "%d violations, first: %s" (List.length diags)
+        (Cms_analysis.Diag.to_string d));
+  check cb "suite produced translations" true (!translations > 500)
+
 let suites =
   [
     ( "props.decode",
@@ -288,5 +321,10 @@ let suites =
         Alcotest.test_case "insn straddles pages" `Quick test_insn_straddles_pages;
         Alcotest.test_case "idiv overflow faults" `Quick test_division_edge_cases;
         Alcotest.test_case "address wraparound" `Quick test_wraparound_address;
+      ] );
+    ( "props.verify",
+      [
+        Alcotest.test_case "whole suite verifier-clean" `Slow
+          test_suite_verifier_clean;
       ] );
   ]

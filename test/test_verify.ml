@@ -1,0 +1,285 @@
+(* Translation verifier tests: a hand-built block that must verify
+   clean, seeded mutations that must each trip their rule, IR lint unit
+   tests, and the Codegen hook wiring. *)
+
+module A = Vliw.Atom
+module C = Vliw.Code
+module Asm = X86.Asm
+module I = Cms.Ir
+module D = Cms_analysis.Diag
+module M = Cms_analysis.Mutate
+module Tverify = Cms_analysis.Tverify
+module Irlint = Cms_analysis.Irlint
+
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let check = Alcotest.check
+
+let entry = 0x1000
+let cfg = { Cms.Config.debug with Cms.Config.sbuf_capacity = 4 }
+
+let pp_diags diags =
+  String.concat "; " (List.map D.to_string diags)
+
+let has_rule rule diags = List.exists (fun d -> d.D.rule = rule) diags
+
+(* A hand-built translation exercising every atom class the verifier
+   tracks: an armed alias range, a protected speculative load, a
+   checked store, guest-register updates committed before the loop
+   back-edge and before the final exit. *)
+let clean_code () =
+  {
+    C.molecules =
+      [|
+        [| A.MovI { rd = 12; imm = 0x2000 } |];
+        [| A.ArmRange { slot = 7; base = 12; disp = 0; len = 16 } |];
+        [|
+          A.Load
+            {
+              rd = 13; base = 12; disp = 0; size = 4; spec = true;
+              protect = Some 0; check = 0;
+            };
+        |];
+        [| A.Nop |];
+        [|
+          A.Store
+            {
+              rs = A.R 13; base = 12; disp = 4; size = 4; spec = false;
+              check = 1 lsl 7;
+            };
+        |];
+        [| A.Alu { op = A.HAdd; rd = 0; a = 0; b = A.I 1 } |];
+        [| A.MovI { rd = Vliw.Abi.eip; imm = 0x1003 } |];
+        [| A.Commit 3 |];
+        [| A.BrCmp { cmp = A.Cne; a = 0; b = A.I 10; target = 0 } |];
+        [| A.MovI { rd = Vliw.Abi.eip; imm = 0x1010 } |];
+        [| A.Commit 0 |];
+        [| A.Exit 0 |];
+      |];
+    exits =
+      [|
+        {
+          C.target = C.Const 0x1010; kind = C.Enext; x86_retired = 3;
+          chain = C.Unchained;
+        };
+      |];
+  }
+
+let verify code = Tverify.verify ~cfg ~entry ~ninsns:3 code
+
+let test_crafted_clean () =
+  match verify (clean_code ()) with
+  | [] -> ()
+  | diags -> Alcotest.failf "clean block flagged: %s" (pp_diags diags)
+
+(* Every seeded mutation must apply to the crafted block and trip its
+   designated rule (extra collateral diagnostics are fine: corrupting
+   one invariant often perturbs others). *)
+let test_mutation m () =
+  match M.apply ~cfg (clean_code ()) m with
+  | None -> Alcotest.failf "mutation %s not applicable to crafted block" (M.name m)
+  | Some bad ->
+      let diags = verify bad in
+      let want = M.expected_rule m in
+      if not (has_rule want diags) then
+        Alcotest.failf "mutation %s: expected rule %s, got [%s]" (M.name m)
+          want (pp_diags diags)
+
+(* The same mutations against a real self-checking translation of a
+   guest loop, produced by the actual Lower/Opt/Sched pipeline. *)
+let compile_loop () =
+  let t = Cms.create ~cfg:Cms.Config.debug () in
+  Cms.boot t ~entry:0x10000;
+  let prog =
+    Asm.(
+      assemble ~base:0x10000
+        [ mov_ri edx 5; label "l"; add_ri eax 1; dec_r edx; jne "l"; hlt ])
+  in
+  Cms.load t prog;
+  let policy =
+    { (Cms.Policy.default Cms.Config.debug) with Cms.Policy.self_check = true }
+  in
+  match
+    Cms.Region.select ~mem:(Cms.mem t) ~profile:(Cms.Profile.create ())
+      ~policy 0x10000
+  with
+  | None -> Alcotest.fail "no region"
+  | Some region ->
+      let compiled =
+        Cms.Codegen.compile ~cfg:Cms.Config.debug ~policy ~mem:(Cms.mem t)
+          region
+      in
+      (region, compiled.Cms.Codegen.code)
+
+let test_real_translation_mutations () =
+  let region, code = compile_loop () in
+  let entry = region.Cms.Region.entry in
+  let ninsns = Cms.Region.instruction_count region in
+  let verify c = Tverify.verify ~cfg:Cms.Config.debug ~entry ~ninsns c in
+  (match verify code with
+  | [] -> ()
+  | diags -> Alcotest.failf "real translation flagged: %s" (pp_diags diags));
+  let applied = ref 0 in
+  List.iter
+    (fun m ->
+      match M.apply ~cfg:Cms.Config.debug code m with
+      | None -> ()
+      | Some bad ->
+          incr applied;
+          let want = M.expected_rule m in
+          if not (has_rule want (verify bad)) then
+            Alcotest.failf "real code, mutation %s: %s not flagged (got [%s])"
+              (M.name m) want (pp_diags (verify bad)))
+    M.all;
+  check cb "most mutations applicable to real code" true (!applied >= 6)
+
+(* ------------------------------------------------------------------ *)
+(* IR lint                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lint ir = Irlint.lint ~stage:"test" ~entry ~ir (I.items ir)
+
+let test_lint_clean () =
+  let ir = I.create () in
+  let v0 = I.fresh_vreg ir in
+  let v1 = I.fresh_vreg ir in
+  let e0 = I.add_exit ir ~target:(C.Const 0x1005) ~kind:C.Enext ~x86_retired:1 in
+  I.emit ir ~x86_idx:0 (A.MovI { rd = v0; imm = 0x2000 });
+  I.emit ir ~x86_idx:0
+    (A.Load
+       { rd = v1; base = v0; disp = 0; size = 4; spec = false; protect = None;
+         check = 0 });
+  I.emit ir ~x86_idx:0
+    (A.Store { rs = A.R v1; base = v0; disp = 4; size = 4; spec = false; check = 0 });
+  I.emit ir ~x86_idx:0 (A.MovI { rd = Vliw.Abi.eip; imm = 0x1005 });
+  I.emit ir ~x86_idx:0 (A.Commit 1);
+  I.emit ir ~x86_idx:0 (A.Exit e0);
+  match lint ir with
+  | [] -> ()
+  | diags -> Alcotest.failf "clean IR flagged: %s" (pp_diags diags)
+
+let test_lint_vreg_undef () =
+  let ir = I.create () in
+  let v0 = I.fresh_vreg ir in
+  let v1 = I.fresh_vreg ir in
+  I.emit ir ~x86_idx:0 (A.Alu { op = A.HAdd; rd = v0; a = v1; b = A.I 1 });
+  check cb "flags use-before-def" true (has_rule "ir-vreg-undef" (lint ir))
+
+let test_lint_backedge_barrier () =
+  let ir = I.create () in
+  let l = I.fresh_label ir in
+  I.emit_label ir l;
+  I.emit ir ~x86_idx:0 (A.MovI { rd = I.vreg_base; imm = 1 });
+  (* back-edge with neither the barrier flag nor a preceding commit *)
+  I.emit ir ~x86_idx:0 (A.Br { target = l });
+  check cb "flags unbarriered back-edge" true
+    (has_rule "ir-backedge-barrier" (lint ir));
+  (* a commit immediately before the branch serializes just as hard *)
+  let ir2 = I.create () in
+  let l2 = I.fresh_label ir2 in
+  I.emit_label ir2 l2;
+  I.emit ir2 ~x86_idx:0 (A.MovI { rd = I.vreg_base; imm = 1 });
+  I.emit ir2 ~x86_idx:0 (A.Commit 1);
+  I.emit ir2 ~x86_idx:0 (A.Br { target = l2 });
+  check ci "commit-then-branch is clean" 0 (List.length (lint ir2))
+
+let test_lint_exit_eip () =
+  let ir = I.create () in
+  let e0 = I.add_exit ir ~target:(C.Const 0x1005) ~kind:C.Enext ~x86_retired:1 in
+  I.emit ir ~x86_idx:0 (A.Exit e0);
+  check cb "flags exit without committed EIP" true
+    (has_rule "ir-exit-eip" (lint ir))
+
+let test_lint_memseq () =
+  let ir = I.create () in
+  let op atom mem_seq =
+    I.Op
+      { I.atom; x86_idx = 0; mem_seq; base_ver = 0; barrier = false;
+        base_abs = None }
+  in
+  let load seq =
+    op
+      (A.Load
+         { rd = 12; base = 0; disp = 0; size = 4; spec = false; protect = None;
+           check = 0 })
+      seq
+  in
+  (* sequence numbers out of program order *)
+  let diags = Irlint.lint ~stage:"test" ~entry ~ir [ load 1; load 0 ] in
+  check cb "flags non-monotone mem_seq" true (has_rule "ir-memseq" diags)
+
+(* ------------------------------------------------------------------ *)
+(* Codegen wiring                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* With verify_translations on, a hook reporting any violation makes
+   the translator itself reject the translation. *)
+let test_verify_failed_wiring () =
+  let saved = !Cms.Codegen.verify_hook in
+  Fun.protect
+    ~finally:(fun () -> Cms.Codegen.verify_hook := saved)
+    (fun () ->
+      Cms.Codegen.verify_hook :=
+        Some
+          {
+            Cms.Codegen.lint_ir = (fun ~stage:_ ~entry:_ ~ir:_ _ -> [ "boom" ]);
+            verify_code = (fun ~cfg:_ ~entry:_ ~ninsns:_ _ -> []);
+          };
+      Alcotest.check_raises "translator rejects flagged translation"
+        (Cms.Codegen.Verify_failed "boom") (fun () ->
+          ignore (compile_loop ())))
+
+(* With the flag off, even a failing hook is never consulted. *)
+let test_verify_flag_gates () =
+  let saved = !Cms.Codegen.verify_hook in
+  Fun.protect
+    ~finally:(fun () -> Cms.Codegen.verify_hook := saved)
+    (fun () ->
+      Cms.Codegen.verify_hook :=
+        Some
+          {
+            Cms.Codegen.lint_ir = (fun ~stage:_ ~entry:_ ~ir:_ _ -> [ "boom" ]);
+            verify_code = (fun ~cfg:_ ~entry:_ ~ninsns:_ _ -> [ "boom" ]);
+          };
+      let t = Cms.create ~cfg:Cms.Config.default () in
+      Cms.boot t ~entry:0x10000;
+      let prog = Asm.(assemble ~base:0x10000 [ add_ri eax 1; hlt ]) in
+      Cms.load t prog;
+      let policy = Cms.Policy.default Cms.Config.default in
+      match
+        Cms.Region.select ~mem:(Cms.mem t) ~profile:(Cms.Profile.create ())
+          ~policy 0x10000
+      with
+      | None -> Alcotest.fail "no region"
+      | Some region ->
+          ignore
+            (Cms.Codegen.compile ~cfg:Cms.Config.default ~policy
+               ~mem:(Cms.mem t) region))
+
+let suites =
+  [
+    ( "verify",
+      [
+        Alcotest.test_case "crafted block is clean" `Quick test_crafted_clean;
+        Alcotest.test_case "real translation survives mutation sweep" `Quick
+          test_real_translation_mutations;
+        Alcotest.test_case "lint: clean IR" `Quick test_lint_clean;
+        Alcotest.test_case "lint: vreg use before def" `Quick
+          test_lint_vreg_undef;
+        Alcotest.test_case "lint: back-edge barrier" `Quick
+          test_lint_backedge_barrier;
+        Alcotest.test_case "lint: exit needs committed EIP" `Quick
+          test_lint_exit_eip;
+        Alcotest.test_case "lint: mem_seq monotone" `Quick test_lint_memseq;
+        Alcotest.test_case "codegen rejects flagged translation" `Quick
+          test_verify_failed_wiring;
+        Alcotest.test_case "verify_translations=false gates the hook" `Quick
+          test_verify_flag_gates;
+      ]
+      @ List.map
+          (fun m ->
+            Alcotest.test_case
+              (Fmt.str "mutation %s -> %s" (M.name m) (M.expected_rule m))
+              `Quick (test_mutation m))
+          M.all );
+  ]

@@ -13,7 +13,10 @@ let mk_exec ?(sbuf_capacity = 64) ?(alias_slots = 8) () =
   let mem = Machine.Mem.create ~ram_size:(1 lsl 20) () in
   Machine.Mmu.map_identity mem.Machine.Mem.mmu ~virt:0 ~pages:256
     ~writable:true;
-  Exec.create ~sbuf_capacity ~alias_slots mem
+  let e = Exec.create ~sbuf_capacity ~alias_slots mem in
+  (* check molecule issue constraints on every cycle under test *)
+  e.Exec.validate <- true;
+  e
 
 (* A tiny helper to build a one-exit code block from molecules. *)
 let code ?(exits = 1) molecules =

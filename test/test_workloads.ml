@@ -21,10 +21,16 @@ let digest t =
     Cms.eip t )
 
 let differential (w : Suite.t) () =
-  let t_ref = Suite.run ~cfg:Cms.interp_only_cfg w in
+  (* debug config: runtime molecule validation, the latency interlock
+     and the static translation verifier are all on *)
+  let t_ref =
+    Suite.run
+      ~cfg:{ Cms.Config.debug with Cms.Config.translate_threshold = max_int }
+      w
+  in
   let t_hot =
     Suite.run
-      ~cfg:{ Cms.Config.default with Cms.Config.translate_threshold = 4 }
+      ~cfg:{ Cms.Config.debug with Cms.Config.translate_threshold = 4 }
       w
   in
   let a, b, _ = digest t_ref and a', b', _ = digest t_hot in
@@ -68,7 +74,7 @@ let test_suite_shape () =
     (List.length (Progs_spec.all @ Progs_apps.all @ Progs_quake.all) >= 12)
 
 let test_quake_frames () =
-  let t = Suite.run ~cfg:Cms.Config.default Progs_quake.quake in
+  let t = Suite.run ~cfg:Cms.Config.debug Progs_quake.quake in
   check ci "60 frames rendered" 60 (Cms.frames t)
 
 let suites =
