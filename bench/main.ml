@@ -126,6 +126,144 @@ let run_micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Host fast-path wall-clock benchmark                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* An interpreter-dominated hot loop (translation disabled) so the
+   three host caching layers — software TLB, decoded-instruction
+   cache, RAM fast path — are on the critical path of every
+   instruction.  The body is a copy/accumulate kernel — mostly loads
+   and stores, like memcpy or a checksum inner loop, which is exactly
+   the shape the TLB and RAM fast path exist for. *)
+let hotpath_listing ~iters =
+  X86.Asm.(
+    assemble ~base:0x1000
+      [
+        mov_ri ecx iters;
+        label "l";
+        mov_rm eax (mbd esi 0x8000);
+        add_ri eax 1;
+        mov_mr (mbd esi 0x8004) eax;
+        mov_rm ebx (mbd esi 0x8008);
+        mov_mr (mbd esi 0x800c) ebx;
+        add_mi (mbd esi 0x8010) 7;
+        dec_r ecx;
+        jne "l";
+        hlt;
+      ])
+
+let hotpath_run ~fast ~iters =
+  let cfg =
+    {
+      Cms.Config.default with
+      Cms.Config.translate_threshold = max_int;
+      host_fast_paths = fast;
+    }
+  in
+  let c = Cms.create ~cfg () in
+  Cms.load c (hotpath_listing ~iters);
+  Cms.boot c ~entry:0x1000;
+  let t0 = Sys.time () in
+  ignore (Cms.run c);
+  let dt = Sys.time () -. t0 in
+  (dt, c)
+
+let best_of n f =
+  let best = ref infinity and last = ref None in
+  for _ = 1 to n do
+    let dt, c = f () in
+    if dt < !best then best := dt;
+    last := Some c
+  done;
+  (!best, Option.get !last)
+
+let run_hotpath ~json () =
+  let iters = 200_000 in
+  ignore (hotpath_run ~fast:false ~iters:1_000);
+  ignore (hotpath_run ~fast:true ~iters:1_000);
+  let off, c_off = best_of 3 (fun () -> hotpath_run ~fast:false ~iters) in
+  let on, c_on = best_of 3 (fun () -> hotpath_run ~fast:true ~iters) in
+  (* the layers must be observationally invisible: identical guest
+     outcome and cost-model charges in both modes *)
+  if
+    (Cms.retired c_on, Cms.total_molecules c_on, Cms.gpr c_on X86.Regs.eax)
+    <> (Cms.retired c_off, Cms.total_molecules c_off, Cms.gpr c_off X86.Regs.eax)
+  then begin
+    Fmt.epr "hotpath: fast-path run diverged from baseline!@.";
+    exit 1
+  end;
+  let retired = Cms.retired c_on in
+  let s = Cms.stats c_on in
+  let speedup = off /. on in
+  pr "=== Hot-path fast-path benchmark (interpreter-dominated loop) ===@.";
+  pr "  retired x86 insns        %d@." retired;
+  pr "  fast paths OFF           %.3f s  (%.0f ns/insn)@." off
+    (off *. 1e9 /. float_of_int retired);
+  pr "  fast paths ON            %.3f s  (%.0f ns/insn)@." on
+    (on *. 1e9 /. float_of_int retired);
+  pr "  speedup                  %.2fx@." speedup;
+  pr "  host caches: %a@." Cms.Stats.pp_host s;
+  if json then begin
+    let oc = open_out "BENCH_hotpath.json" in
+    let j = Fmt.str in
+    output_string oc
+      (j
+         "{\n\
+         \  \"bench\": \"hotpath\",\n\
+         \  \"loop_iterations\": %d,\n\
+         \  \"retired_insns\": %d,\n\
+         \  \"fast_off_seconds\": %.6f,\n\
+         \  \"fast_on_seconds\": %.6f,\n\
+         \  \"speedup\": %.3f,\n\
+         \  \"tlb\": { \"hits\": %d, \"misses\": %d },\n\
+         \  \"dcache\": { \"hits\": %d, \"misses\": %d, \"invalidations\": %d \
+          },\n\
+         \  \"ram_fast\": { \"reads\": %d, \"writes\": %d }\n\
+          }\n"
+         iters retired off on speedup s.Cms.Stats.tlb_hits
+         s.Cms.Stats.tlb_misses s.Cms.Stats.dcache_hits
+         s.Cms.Stats.dcache_misses s.Cms.Stats.dcache_invalidations
+         s.Cms.Stats.ram_fast_reads s.Cms.Stats.ram_fast_writes);
+    close_out oc;
+    pr "  wrote BENCH_hotpath.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fast-path smoke check (CI: dune build @bench-smoke)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One real workload, both fast-path modes, guest-visible outcome must
+   match exactly.  [Suite.run] itself already asserts the workload's
+   checksum; this cross-checks the two modes against each other. *)
+let run_smoke () =
+  let w = List.hd Workloads.Progs_spec.all in
+  let digest fast =
+    let cfg = { Cms.Config.default with Cms.Config.host_fast_paths = fast } in
+    let c = Workloads.Suite.run ~cfg w in
+    let s = Cms.stats c in
+    let m = Cms.mem c in
+    ( Cms.retired c,
+      Cms.total_molecules c,
+      Cms.gpr c X86.Regs.eax,
+      Cms.eip c,
+      s.Cms.Stats.genuine_faults,
+      s.Cms.Stats.spec_faults,
+      s.Cms.Stats.translations,
+      m.Machine.Mem.smc_events,
+      m.Machine.Mem.page_prot_faults )
+  in
+  let on = digest true in
+  let off = digest false in
+  if on = off then
+    pr "bench-smoke: %S identical with fast paths on and off@."
+      w.Workloads.Suite.name
+  else begin
+    Fmt.epr "bench-smoke: %S DIVERGED between fast-path modes@."
+      w.Workloads.Suite.name;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   run_fig2 ();
@@ -136,10 +274,22 @@ let all () =
   run_groups ();
   run_flow ();
   run_ablations ();
-  run_micro ()
+  run_micro ();
+  run_hotpath ~json:false ()
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  let json =
+    Array.exists (fun a -> a = "--json") Sys.argv
+  in
+  let sub =
+    match
+      Array.to_list Sys.argv |> List.tl
+      |> List.filter (fun a -> a <> "--json")
+    with
+    | [] -> "all"
+    | s :: _ -> s
+  in
+  match sub with
   | "fig2" -> run_fig2 ()
   | "fig3" -> run_fig3 ()
   | "table1" -> run_table1 ()
@@ -148,11 +298,15 @@ let () =
   | "groups" -> run_groups ()
   | "flow" -> run_flow ()
   | "ablations" -> run_ablations ()
-  | "micro" -> run_micro ()
+  | "micro" ->
+      run_micro ();
+      run_hotpath ~json ()
+  | "hotpath" -> run_hotpath ~json ()
+  | "smoke" -> run_smoke ()
   | "all" -> all ()
   | other ->
       Fmt.epr
         "unknown experiment %S; one of: fig2 fig3 table1 selfcheck selfreval \
-         groups flow ablations micro all@."
+         groups flow ablations micro hotpath smoke all@."
         other;
       exit 1

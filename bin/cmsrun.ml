@@ -14,8 +14,8 @@ let find_workload name =
   List.find_opt (fun w -> w.Suite.name = name) (all_workloads ())
 
 let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
-    no_groups no_stylized force_selfcheck interp_only threshold max_region
-    verbose =
+    no_groups no_stylized force_selfcheck interp_only no_fast_paths threshold
+    max_region stats verbose =
   if list_only then begin
     List.iter (fun w -> Fmt.pr "%s@." w.Suite.name) (all_workloads ());
     `Ok ()
@@ -36,6 +36,7 @@ let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
             enable_groups = not no_groups;
             enable_stylized = not no_stylized;
             force_self_check = force_selfcheck;
+            host_fast_paths = not no_fast_paths;
             translate_threshold =
               (if interp_only then max_int else threshold);
             max_region_insns = max_region;
@@ -50,6 +51,8 @@ let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
           (Cms.retired t) s.Cms.Stats.x86_interp s.Cms.Stats.x86_translated;
         Fmt.pr "molecules: %d  (%.2f per x86 insn)@." (Cms.total_molecules t)
           (Cms.mpi t);
+        if stats || verbose then
+          Fmt.pr "host caches: %a@." Cms.Stats.pp_host s;
         if verbose then begin
           Fmt.pr "stats: %a@." Cms.Stats.pp s;
           Fmt.pr "perf:  %a@." Vliw.Perf.pp p;
@@ -79,6 +82,14 @@ let no_stylized = flag [ "no-stylized" ] "Disable stylized-SMC translations."
 let force_selfcheck =
   flag [ "force-self-check" ] "Make every translation self-checking."
 let interp_only = flag [ "interp-only" ] "Never translate; pure interpreter."
+let no_fast_paths =
+  flag [ "no-fast-paths" ]
+    "Disable the host-side caching layers (software TLB, decoded-instruction \
+     cache, RAM fast path).  Guest-visible behavior is identical either way; \
+     the knob exists for measurement and fallback."
+
+let stats_flag =
+  flag [ "stats" ] "Print the host-side cache hit/miss counters."
 
 let threshold =
   Arg.(value & opt int Cms.Config.default.Cms.Config.translate_threshold
@@ -99,6 +110,7 @@ let cmd =
       ret
         (const run_cmd $ workload_arg $ list_only $ no_reorder $ no_alias $ no_fg
        $ no_chain $ no_reval $ no_groups $ no_stylized $ force_selfcheck
-       $ interp_only $ threshold $ max_region $ verbose))
+       $ interp_only $ no_fast_paths $ threshold $ max_region $ stats_flag
+       $ verbose))
 
 let () = exit (Cmd.eval cmd)

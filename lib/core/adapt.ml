@@ -17,8 +17,10 @@ let get t entry =
   | Some p -> p
   | None -> Policy.default t.cfg
 
-(** Is this entry marked for immediate retranslation? *)
-let hot t entry = Hashtbl.mem t.tbl entry
+(** Is this entry marked for immediate retranslation?  (Checked once
+    per dispatch; the length guard keeps the common nothing-is-hot
+    case off the hashing path.) *)
+let hot t entry = Hashtbl.length t.tbl > 0 && Hashtbl.mem t.tbl entry
 
 (** Merge [p] into the entry's policy (monotone). *)
 let upgrade t entry p =

@@ -51,6 +51,15 @@ type t = {
   fault_handler_cost : int;  (** per native fault taken (CMS entry) *)
   fg_install_cost : int;  (** per fine-grain cache software refill *)
   reval_cost_per_byte : int;  (** prologue compare cost (self-reval) *)
+  (* --- host-side fast paths --- *)
+  host_fast_paths : bool;
+      (** enable the host-side caching layers: the MMU software TLB,
+          the decoded-instruction cache in the interpreter, and the
+          RAM fast path that bypasses bus dispatch.  Observationally
+          invisible by construction (each layer has an explicit
+          invalidation contract; the differential suite pins it) —
+          the knob exists to measure them and to fall back if a
+          contract is ever in doubt. *)
   (* --- debug --- *)
   validate_molecules : bool;
   enforce_latency : bool;
@@ -91,6 +100,7 @@ let default =
     fault_handler_cost = 300;
     fg_install_cost = 60;
     reval_cost_per_byte = 1;
+    host_fast_paths = true;
     validate_molecules = false;
     enforce_latency = false;
     verify_translations = false;

@@ -31,6 +31,7 @@ let create ?(cfg = Config.default) plat =
   let adapt = Adapt.create cfg in
   let mem = plat.Machine.Platform.mem in
   mem.Machine.Mem.fg_enabled <- cfg.Config.enable_fine_grain;
+  Machine.Mem.set_fast_paths mem cfg.Config.host_fast_paths;
   let smc = Smc.create ~cfg ~mem ~tcache ~adapt ~stats in
   let t =
     { cfg; plat; cpu; interp; profile; stats; tcache; smc; adapt;
@@ -38,6 +39,8 @@ let create ?(cfg = Config.default) plat =
   in
   mem.Machine.Mem.on_smc <- (fun hit ~paddr ~len -> Smc.on_write smc hit ~paddr ~len);
   mem.Machine.Mem.on_dma_smc <- (fun ~ppn -> Smc.on_dma smc ~ppn);
+  (* a tcache flush is the big hammer: dependent host caches die too *)
+  tcache.Tcache.on_flush <- (fun () -> Interp.dcache_clear interp);
   t
 
 let perf t = t.cpu.Cpu.exec.Vliw.Exec.perf
@@ -319,6 +322,18 @@ let wakeup_possible t =
   t.plat.Machine.Platform.timer.Machine.Timer.period > 0
   || t.plat.Machine.Platform.disk.Machine.Disk.busy > 0
 
+(** Copy the machine-layer fast-path counters into {!Stats}.  They
+    accumulate in [Mmu.t]/[Mem.t] (the machine library cannot see the
+    cms layer); [run] syncs them on exit and callers reading stats
+    mid-run can call this directly. *)
+let sync_host_stats t =
+  let mem = Cpu.mem t.cpu in
+  let mmu = mem.Machine.Mem.mmu in
+  t.stats.Stats.tlb_hits <- mmu.Machine.Mmu.tlb_hits;
+  t.stats.Stats.tlb_misses <- mmu.Machine.Mmu.tlb_misses;
+  t.stats.Stats.ram_fast_reads <- mem.Machine.Mem.fast_reads;
+  t.stats.Stats.ram_fast_writes <- mem.Machine.Mem.fast_writes
+
 type stop = Halted | Insn_limit
 
 (** Run until the guest halts with no wakeup source, or [max_insns]
@@ -361,6 +376,7 @@ let run ?(max_insns = max_int) t =
     end
   done;
   t.stats.Stats.x86_translated <- (perf t).Vliw.Perf.x86_committed;
+  sync_host_stats t;
   !result
 
 (** Headline metric: molecules per retired x86 instruction. *)

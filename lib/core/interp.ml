@@ -18,14 +18,123 @@
 open X86
 module F = Flags
 
+(* Decoded-instruction cache geometry: direct-mapped on low physical
+   address bits. *)
+let dc_bits = 12
+let dc_slots = 1 lsl dc_bits
+let dc_index_mask = dc_slots - 1
+
 type t = {
   cpu : Cpu.t;
   profile : Profile.t;
   stats : Stats.t;
   cfg : Config.t;
+  (* --- decoded-instruction cache (host fast path) ---
+     Keyed by the physical address of the instruction's first byte and
+     validated against the virtual EIP it was decoded at (branch
+     targets inside [Decode.fetched] are absolute, computed from the
+     virtual PC, so an aliased mapping must miss).  Entries hold only
+     single-page instructions from plain-RAM pages: MMIO fetches must
+     not be elided, and the single-page restriction means the hit-path
+     translation of the first byte covers every byte the baseline
+     decoder would have fetched.  Invalidation: any write landing on a
+     flagged page ({!Machine.Mem.note_write} — ordered guest writes,
+     committed translation stores, DMA, image loads) kills the page's
+     entries, and a translation-cache flush clears the whole cache. *)
+  dc_on : bool;
+  dc_tags : int array;  (** physical first-byte address; -1 = empty *)
+  dc_vaddrs : int array;  (** virtual EIP the entry was decoded at *)
+  dc_insns : Decode.fetched array;
+  dc_pages : (int, int list ref) Hashtbl.t;  (** ppn -> slot indices *)
 }
 
-let create cpu ~profile ~stats ~cfg = { cpu; profile; stats; cfg }
+let dc_dummy = { Decode.insn = Insn.Nop; len = 1; imm32_off = None }
+
+let create cpu ~profile ~stats ~cfg =
+  let t =
+    {
+      cpu;
+      profile;
+      stats;
+      cfg;
+      dc_on = cfg.Config.host_fast_paths;
+      dc_tags = Array.make dc_slots (-1);
+      dc_vaddrs = Array.make dc_slots 0;
+      dc_insns = Array.make dc_slots dc_dummy;
+      dc_pages = Hashtbl.create 32;
+    }
+  in
+  (* writes landing on pages with cached decodes invalidate them *)
+  let mem = Cpu.mem cpu in
+  (mem.Machine.Mem.on_code_write <-
+     fun ~ppn ->
+       (match Hashtbl.find_opt t.dc_pages ppn with
+       | Some l ->
+           List.iter
+             (fun slot ->
+               (* the slot may have been reused by another page since *)
+               if t.dc_tags.(slot) lsr Machine.Mmu.page_shift = ppn then
+                 t.dc_tags.(slot) <- -1)
+             !l;
+           Hashtbl.remove t.dc_pages ppn
+       | None -> ());
+       t.stats.Stats.dcache_invalidations <-
+         t.stats.Stats.dcache_invalidations + 1);
+  t
+
+(** Drop every decoded-instruction cache entry (translation-cache
+    flush rides the same big-hammer event). *)
+let dcache_clear t =
+  Array.fill t.dc_tags 0 dc_slots (-1);
+  let mem = Cpu.mem t.cpu in
+  Hashtbl.iter
+    (fun ppn _ -> Machine.Mem.unmark_code_page mem ~ppn)
+    t.dc_pages;
+  Hashtbl.reset t.dc_pages;
+  t.stats.Stats.dcache_invalidations <-
+    t.stats.Stats.dcache_invalidations + 1
+
+(** Number of live cache entries (test introspection). *)
+let dcache_population t =
+  Array.fold_left (fun n tag -> if tag >= 0 then n + 1 else n) 0 t.dc_tags
+
+(* Decode the instruction at committed [pc], through the cache when the
+   fast paths are on.  Fault behavior is identical to a raw decode: the
+   first-byte Exec translation runs unconditionally (so #PF on an
+   unmapped EIP is reproduced), and misses decode from memory byte by
+   byte exactly as before. *)
+let decode_at t pc =
+  let mem = Cpu.mem t.cpu in
+  if not t.dc_on then Decode.decode ~fetch:(Machine.Mem.fetch8 mem) pc
+  else begin
+    let paddr = Machine.Mmu.translate mem.Machine.Mem.mmu Machine.Mmu.Exec pc in
+    let slot = paddr land dc_index_mask in
+    if
+      Array.unsafe_get t.dc_tags slot = paddr
+      && Array.unsafe_get t.dc_vaddrs slot = pc
+    then begin
+      t.stats.Stats.dcache_hits <- t.stats.Stats.dcache_hits + 1;
+      Array.unsafe_get t.dc_insns slot
+    end
+    else begin
+      t.stats.Stats.dcache_misses <- t.stats.Stats.dcache_misses + 1;
+      let f = Decode.decode ~fetch:(Machine.Mem.fetch8 mem) pc in
+      if
+        (pc land Machine.Mmu.page_mask) + f.Decode.len <= Machine.Mmu.page_size
+        && Machine.Mem.code_page_cacheable mem paddr
+      then begin
+        Array.unsafe_set t.dc_tags slot paddr;
+        Array.unsafe_set t.dc_vaddrs slot pc;
+        Array.unsafe_set t.dc_insns slot f;
+        Machine.Mem.mark_code_page mem paddr;
+        let ppn = paddr lsr Machine.Mmu.page_shift in
+        match Hashtbl.find_opt t.dc_pages ppn with
+        | Some l -> l := slot :: !l
+        | None -> Hashtbl.add t.dc_pages ppn (ref [ slot ])
+      end;
+      f
+    end
+  end
 
 type outcome =
   | Stepped  (** one instruction retired *)
@@ -370,7 +479,7 @@ let step t =
     let bus = Cpu.bus cpu in
     let mmio_before = bus.Machine.Bus.mmio_reads + bus.Machine.Bus.mmio_writes in
     match
-      let f = Decode.decode ~fetch:(Machine.Mem.fetch8 (Cpu.mem cpu)) pc in
+      let f = decode_at t pc in
       Cpu.set_eip cpu (mask32 (pc + f.Decode.len));
       exec_insn t pc f
     with

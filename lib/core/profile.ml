@@ -4,46 +4,99 @@
 
 type branch_bias = { mutable taken : int; mutable not_taken : int }
 
+(* [bump] and [count] run once per interpreted instruction; a small
+   direct-mapped memo over the counts hashtable keeps the interpreter
+   hot loop off the hashing path.  The memo caches the [int ref]
+   stored in the table, so hits observe exactly the table's counts. *)
+let memo_slots = 256
+let memo_mask = memo_slots - 1
+
 type t = {
   exec_counts : (int, int ref) Hashtbl.t;  (** per-EIP execution counts *)
+  memo_eip : int array;  (** -1 = empty *)
+  memo_ref : int ref array;
   branches : (int, branch_bias) Hashtbl.t;  (** per-branch direction data *)
+  bmemo_eip : int array;  (** same memo scheme over [branches] *)
+  bmemo_bias : branch_bias array;
   mmio_insns : (int, unit) Hashtbl.t;
       (** instructions observed touching memory-mapped I/O *)
 }
 
+let dummy_bias_ () = { taken = min_int; not_taken = min_int }
+
 let create () =
   {
     exec_counts = Hashtbl.create 1024;
+    memo_eip = Array.make memo_slots (-1);
+    memo_ref = Array.make memo_slots (ref 0);
     branches = Hashtbl.create 256;
+    bmemo_eip = Array.make memo_slots (-1);
+    bmemo_bias = Array.make memo_slots (dummy_bias_ ());
     mmio_insns = Hashtbl.create 64;
   }
+
+let memo_find t eip =
+  let slot = eip land memo_mask in
+  if Array.unsafe_get t.memo_eip slot = eip then
+    Some (Array.unsafe_get t.memo_ref slot)
+  else
+    match Hashtbl.find_opt t.exec_counts eip with
+    | Some r ->
+        t.memo_eip.(slot) <- eip;
+        t.memo_ref.(slot) <- r;
+        Some r
+    | None -> None
 
 (** Count one interpreted execution of the instruction at [eip];
     returns the updated count. *)
 let bump t eip =
-  match Hashtbl.find_opt t.exec_counts eip with
-  | Some r ->
-      incr r;
-      !r
-  | None ->
-      Hashtbl.add t.exec_counts eip (ref 1);
-      1
+  let slot = eip land memo_mask in
+  if Array.unsafe_get t.memo_eip slot = eip then begin
+    let r = Array.unsafe_get t.memo_ref slot in
+    incr r;
+    !r
+  end
+  else
+    match Hashtbl.find_opt t.exec_counts eip with
+    | Some r ->
+        t.memo_eip.(slot) <- eip;
+        t.memo_ref.(slot) <- r;
+        incr r;
+        !r
+    | None ->
+        let r = ref 1 in
+        Hashtbl.add t.exec_counts eip r;
+        t.memo_eip.(slot) <- eip;
+        t.memo_ref.(slot) <- r;
+        1
 
-let count t eip =
-  match Hashtbl.find_opt t.exec_counts eip with Some r -> !r | None -> 0
+let count t eip = match memo_find t eip with Some r -> !r | None -> 0
 
 (** Forget the count (after translating, so invalidation restarts the
     threshold climb). *)
-let reset_count t eip = Hashtbl.remove t.exec_counts eip
+let reset_count t eip =
+  let slot = eip land memo_mask in
+  if t.memo_eip.(slot) = eip then t.memo_eip.(slot) <- -1;
+  Hashtbl.remove t.exec_counts eip
 
 let note_branch t eip ~taken =
+  let slot = eip land memo_mask in
   let b =
-    match Hashtbl.find_opt t.branches eip with
-    | Some b -> b
-    | None ->
-        let b = { taken = 0; not_taken = 0 } in
-        Hashtbl.add t.branches eip b;
-        b
+    if Array.unsafe_get t.bmemo_eip slot = eip then
+      Array.unsafe_get t.bmemo_bias slot
+    else begin
+      let b =
+        match Hashtbl.find_opt t.branches eip with
+        | Some b -> b
+        | None ->
+            let b = { taken = 0; not_taken = 0 } in
+            Hashtbl.add t.branches eip b;
+            b
+      in
+      t.bmemo_eip.(slot) <- eip;
+      t.bmemo_bias.(slot) <- b;
+      b
+    end
   in
   if taken then b.taken <- b.taken + 1 else b.not_taken <- b.not_taken + 1
 

@@ -30,6 +30,15 @@ type t = {
   mutable group_hits : int;  (** reactivated a grouped translation *)
   mutable tcache_flushes : int;
   mutable charged_molecules : int;  (** cost-model molecules (non-translation) *)
+  (* --- host fast-path counters (hits/misses of the host-side caches;
+     purely observational — no cost-model impact) --- *)
+  mutable tlb_hits : int;  (** software-TLB hits in {!Machine.Mmu} *)
+  mutable tlb_misses : int;
+  mutable dcache_hits : int;  (** decoded-instruction cache hits *)
+  mutable dcache_misses : int;
+  mutable dcache_invalidations : int;  (** page invalidations + flushes *)
+  mutable ram_fast_reads : int;  (** reads/fetches that bypassed the bus *)
+  mutable ram_fast_writes : int;  (** writes that bypassed the bus *)
 }
 
 let create () =
@@ -56,6 +65,13 @@ let create () =
     group_hits = 0;
     tcache_flushes = 0;
     charged_molecules = 0;
+    tlb_hits = 0;
+    tlb_misses = 0;
+    dcache_hits = 0;
+    dcache_misses = 0;
+    dcache_invalidations = 0;
+    ram_fast_reads = 0;
+    ram_fast_writes = 0;
   }
 
 let charge t m = t.charged_molecules <- t.charged_molecules + m
@@ -82,3 +98,11 @@ let pp fmt t =
     t.irq_delivered t.irq_rollbacks t.chain_patches t.lookups t.fg_installs
     t.reval_hits t.reval_checks t.selfcheck_fails t.group_hits
     t.charged_molecules
+
+(** The host-side cache counters ({!Config.host_fast_paths} layers). *)
+let pp_host fmt t =
+  Fmt.pf fmt
+    "tlb[hit=%d miss=%d] dcache[hit=%d miss=%d inval=%d] \
+     ram-fast[read=%d write=%d]"
+    t.tlb_hits t.tlb_misses t.dcache_hits t.dcache_misses
+    t.dcache_invalidations t.ram_fast_reads t.ram_fast_writes

@@ -44,6 +44,10 @@ type t = {
   capacity : int;
   mutable count : int;
   mutable flushes : int;
+  mutable on_flush : unit -> unit;
+      (** fired on every full flush; the engine hooks it so dependent
+          host caches (the interpreter's decoded-instruction cache)
+          die with the translations *)
 }
 
 let create ~capacity =
@@ -56,9 +60,14 @@ let create ~capacity =
     capacity;
     count = 0;
     flushes = 0;
+    on_flush = (fun () -> ());
   }
 
 let lookup t entry =
+  (* checked once per dispatch; skip the hash while nothing is cached
+     (the interpreter-warmup phase) *)
+  if Hashtbl.length t.by_entry = 0 then None
+  else
   match Hashtbl.find_opt t.by_entry entry with
   | Some tr when tr.valid -> Some tr
   | _ -> None
@@ -92,7 +101,8 @@ let flush t =
   Hashtbl.reset t.by_page;
   Hashtbl.reset t.groups;
   t.count <- 0;
-  t.flushes <- t.flushes + 1
+  t.flushes <- t.flushes + 1;
+  t.on_flush ()
 
 (** Insert a new translation; returns it.  Replaces any current
     translation for the same entry (the old one stays in the group). *)

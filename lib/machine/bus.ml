@@ -27,6 +27,9 @@ type t = {
   mutable mmio_reads : int;
   mutable mmio_writes : int;
   mutable port_ops : int;
+  mutable generation : int;
+      (** bumped whenever the MMIO topology changes; {!Mem} watches it
+          to keep its RAM-fast-path page table coherent *)
 }
 
 let create phys =
@@ -38,9 +41,12 @@ let create phys =
     mmio_reads = 0;
     mmio_writes = 0;
     port_ops = 0;
+    generation = 0;
   }
 
-let add_mmio t h = t.mmio <- h :: t.mmio
+let add_mmio t h =
+  t.mmio <- h :: t.mmio;
+  t.generation <- t.generation + 1
 
 let add_port t port h = Hashtbl.replace t.ports port h
 

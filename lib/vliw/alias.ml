@@ -10,18 +10,29 @@
 
 type t = {
   slots : (int * int) option array;  (** [lo, hi) per armed slot *)
+  mutable any_armed : bool;
+      (** at least one slot armed since the last clear; [clear] runs at
+          every commit/rollback boundary (once per interpreted
+          instruction), so the nothing-armed case must be a no-op *)
   mutable violations : int;
   mutable checks : int;
   mutable arms : int;
 }
 
 let create ?(slots = 8) () =
-  { slots = Array.make slots None; violations = 0; checks = 0; arms = 0 }
+  {
+    slots = Array.make slots None;
+    any_armed = false;
+    violations = 0;
+    checks = 0;
+    arms = 0;
+  }
 
 let num_slots t = Array.length t.slots
 
 let arm t ~slot ~paddr ~len =
   t.arms <- t.arms + 1;
+  t.any_armed <- true;
   t.slots.(slot) <- Some (paddr, paddr + len)
 
 (** Check a range against every slot in [mask]; returns the first
@@ -44,4 +55,8 @@ let check t ~mask ~paddr ~len =
 
 (** Disarm everything; done at commit and rollback boundaries (alias
     protection never outlives a translation window). *)
-let clear t = Array.fill t.slots 0 (Array.length t.slots) None
+let clear t =
+  if t.any_armed then begin
+    Array.fill t.slots 0 (Array.length t.slots) None;
+    t.any_armed <- false
+  end

@@ -29,7 +29,23 @@ type t = {
   mutable enforce_latency : bool;
   ready : int array;  (** per-register ready time (debug interlock) *)
   mutable max_molecules_per_run : int;
+  mutable eff_buf : effect_ array;
+      (** reusable staging buffer for molecule effects; grows on demand
+          so the hot loop never conses a per-molecule list *)
+  mutable eff_len : int;
+  commit_write : int -> int -> int -> unit;
+      (** pre-applied {!Machine.Mem.commit_write}; [commit] runs once
+          per interpreted instruction, so the drain closure is built
+          once here instead of per call *)
 }
+
+and effect_ =
+  (* Effects staged during a molecule, applied at molecule end. *)
+  | Wreg of int * int
+  | Push of { paddr : int; size : int; value : int }
+  | Goto of int
+  | Take_exit of int
+  | Do_commit of int
 
 let create ?(sbuf_capacity = 64) ?(alias_slots = 8) mem =
   {
@@ -42,7 +58,21 @@ let create ?(sbuf_capacity = 64) ?(alias_slots = 8) mem =
     enforce_latency = false;
     ready = Array.make Abi.num_regs 0;
     max_molecules_per_run = 50_000_000;
+    eff_buf = Array.make 256 (Goto 0);
+    eff_len = 0;
+    commit_write = Machine.Mem.commit_write mem;
   }
+
+(* Stage one effect, growing the buffer when full. *)
+let push_eff t e =
+  let cap = Array.length t.eff_buf in
+  if t.eff_len = cap then begin
+    let nb = Array.make (2 * cap) e in
+    Array.blit t.eff_buf 0 nb 0 t.eff_len;
+    t.eff_buf <- nb
+  end;
+  Array.unsafe_set t.eff_buf t.eff_len e;
+  t.eff_len <- t.eff_len + 1
 
 type outcome =
   | Exited of int  (** left through exit-table entry i *)
@@ -53,14 +83,6 @@ type outcome =
 exception Fault_ of Nexn.t
 
 let fault n = raise (Fault_ n)
-
-(* Effects staged during a molecule, applied at molecule end. *)
-type effect_ =
-  | Wreg of int * int
-  | Push of { paddr : int; size : int; value : int }
-  | Goto of int
-  | Take_exit of int
-  | Do_commit of int
 
 let mask32 v = v land 0xffffffff
 let sext32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
@@ -73,7 +95,9 @@ let rollback t =
 
 let commit t =
   Regfile.commit t.regs;
-  Storebuf.commit t.sbuf ~mem_write:(Machine.Bus.write t.mem.Machine.Mem.bus);
+  (* drained stores go through {!Machine.Mem.commit_write} so the
+     interpreter's decode cache sees translated code writes too *)
+  Storebuf.commit t.sbuf ~mem_write:t.commit_write;
   Alias.clear t.alias;
   t.perf.Perf.commits <- t.perf.Perf.commits + 1
 
@@ -115,9 +139,10 @@ let rec do_load t ~vaddr ~size ~spec ~protect =
     !v
   end
 
-(* Stores only *stage* pushes; the push itself happens at molecule end.
-   All faulting checks happen here, at issue. *)
-let rec stage_store t ~vaddr ~size ~value ~spec ~check acc =
+(* Stores only *stage* pushes (into the molecule effect buffer); the
+   push itself happens at molecule end.  All faulting checks happen
+   here, at issue. *)
+let rec stage_store t ~vaddr ~size ~value ~spec ~check =
   if size <= Machine.Mem.page_room vaddr then begin
     let paddr = translate t Machine.Mmu.Write vaddr in
     if spec && Machine.Bus.is_mmio t.mem.Machine.Mem.bus paddr then begin
@@ -141,20 +166,16 @@ let rec stage_store t ~vaddr ~size ~value ~spec ~check acc =
         t.perf.Perf.smc_faults <- t.perf.Perf.smc_faults + 1;
         fault (Nexn.Smc (hit, paddr))
     | None -> ());
-    Push { paddr; size; value } :: acc
+    push_eff t (Push { paddr; size; value })
   end
-  else begin
-    let acc = ref acc in
+  else
     for i = 0 to size - 1 do
-      acc :=
-        stage_store t
-          ~vaddr:(vaddr + i)
-          ~size:1
-          ~value:((value lsr (8 * i)) land 0xff)
-          ~spec ~check !acc
-    done;
-    !acc
-  end
+      stage_store t
+        ~vaddr:(vaddr + i)
+        ~size:1
+        ~value:((value lsr (8 * i)) land 0xff)
+        ~spec ~check
+    done
 
 (* ------------------------------------------------------------------ *)
 (* Atom evaluation                                                     *)
@@ -251,128 +272,126 @@ let run ?(irq_pending = fun () -> false) t (code : Code.t) =
       | `Fault n -> Faulted n
     end
   and exec_molecule now m =
-    (* Phase 1: evaluate all atoms against pre-molecule state. *)
+    (* Phase 1: evaluate all atoms against pre-molecule state, staging
+       effects into the reusable buffer (program order). *)
+    t.eff_len <- 0;
     match
-      Array.fold_left
-        (fun effects atom ->
+      Array.iter
+        (fun atom ->
           if t.enforce_latency then check_uses t now atom;
-          let eff =
-            match atom with
-            | Atom.Nop ->
-                t.perf.Perf.nops <- t.perf.Perf.nops + 1;
-                []
-            | MovI { rd; imm } -> [ Wreg (rd, mask32 imm) ]
-            | MovR { rd; rs } -> [ Wreg (rd, get rs) ]
-            | Alu { op; rd; a; b } -> [ Wreg (rd, host_alu op (get a) (src b)) ]
-            | AluX { op; size; rd; a; b; fr; fw } ->
-                let fl_in =
-                  if fr >= 0 && Atom.xop_reads_flags op b then get fr
-                  else X86.Flags.initial
-                in
-                let r, fl = eval_xop op size fl_in (src a) (src b) in
-                let wfl =
-                  match op with
-                  | Atom.XNot -> []
-                  | _ when fw < 0 -> []
-                  | _ -> [ Wreg (fw, fl) ]
-                in
-                (match rd with Some rd -> Wreg (rd, r) :: wfl | None -> wfl)
-            | MulX { signed; size; rd_lo; rd_hi; a = ma; b = mb; fr = _; fw } ->
-                let a = ma and b = mb in
-                let fl_in = X86.Flags.initial in
-                let f = if signed then X86.Flags.imul else X86.Flags.mul in
-                let lo, hi, fl = f size fl_in (src a) (src b) in
-                Wreg (rd_lo, lo)
-                :: ((if fw >= 0 then [ Wreg (fw, fl) ] else [])
-                   @ match rd_hi with Some r -> [ Wreg (r, hi) ] | None -> [])
-            | DivX { signed; size; rd_q; rd_r; hi; lo; divisor } -> (
-                let f = if signed then X86.Flags.idiv else X86.Flags.div in
-                match f size (get hi) (get lo) (src divisor) with
-                | Some (q, r) -> [ Wreg (rd_q, q); Wreg (rd_r, r) ]
-                | None ->
-                    t.perf.Perf.x86_fault_atoms <-
-                      t.perf.Perf.x86_fault_atoms + 1;
-                    fault (Nexn.X86_fault X86.Exn.DE))
-            | SetCond { rd; cond; fr } ->
-                [ Wreg (rd, if X86.Flags.eval_cond cond (get fr) then 1 else 0) ]
-            | ExtField { rd; rs; shift; width; sign } ->
-                let v = (get rs lsr shift) land ((1 lsl width) - 1) in
-                let v =
-                  if sign && v land (1 lsl (width - 1)) <> 0 then
-                    mask32 (v - (1 lsl width))
-                  else v
-                in
-                [ Wreg (rd, v) ]
-            | InsField { rd; rs; shift; width } ->
-                let m = (1 lsl width) - 1 in
-                let v =
-                  get rd land lnot (m lsl shift)
-                  lor ((get rs land m) lsl shift)
-                in
-                [ Wreg (rd, mask32 v) ]
-            | Load { rd; base; disp; size; spec; protect; check = _ } ->
-                t.perf.Perf.loads <- t.perf.Perf.loads + 1;
-                let vaddr = mask32 (get base + disp) in
-                [ Wreg (rd, do_load t ~vaddr ~size ~spec ~protect) ]
-            | Store { rs; base; disp; size; spec; check } ->
-                t.perf.Perf.stores <- t.perf.Perf.stores + 1;
-                let vaddr = mask32 (get base + disp) in
-                stage_store t ~vaddr ~size ~value:(src rs) ~spec ~check []
-            | ArmRange { slot; base; disp; len } ->
-                (* arm immediately (phase 1): in-molecule atom order is
-                   program order, so stores in the same molecule already
-                   see the armed range *)
-                let rec arm vaddr remaining =
-                  if remaining > 0 then begin
-                    let seg = min remaining (Machine.Mem.page_room vaddr) in
-                    let paddr = translate t Machine.Mmu.Read vaddr in
-                    Alias.arm t.alias ~slot ~paddr ~len:seg;
-                    arm (vaddr + seg) (remaining - seg)
-                  end
-                in
-                (* multi-page ranges would need one slot per page; the
-                   code generator splits them, so assert single-page *)
-                arm (mask32 (get base + disp)) len;
-                []
-            | Br { target } -> [ Goto target ]
-            | BrCond { cond; fr; target } ->
-                if X86.Flags.eval_cond cond (get fr) then [ Goto target ]
-                else []
-            | BrCmp { cmp; a; b; target } ->
-                if eval_cmp cmp (get a) (src b) then [ Goto target ] else []
-            | Commit n -> [ Do_commit n ]
-            | Exit i -> [ Take_exit i ]
-          in
-          eff :: effects)
-        [] m
+          match atom with
+          | Atom.Nop -> t.perf.Perf.nops <- t.perf.Perf.nops + 1
+          | MovI { rd; imm } -> push_eff t (Wreg (rd, mask32 imm))
+          | MovR { rd; rs } -> push_eff t (Wreg (rd, get rs))
+          | Alu { op; rd; a; b } ->
+              push_eff t (Wreg (rd, host_alu op (get a) (src b)))
+          | AluX { op; size; rd; a; b; fr; fw } ->
+              let fl_in =
+                if fr >= 0 && Atom.xop_reads_flags op b then get fr
+                else X86.Flags.initial
+              in
+              let r, fl = eval_xop op size fl_in (src a) (src b) in
+              (match rd with
+              | Some rd -> push_eff t (Wreg (rd, r))
+              | None -> ());
+              (match op with
+              | Atom.XNot -> ()
+              | _ when fw < 0 -> ()
+              | _ -> push_eff t (Wreg (fw, fl)))
+          | MulX { signed; size; rd_lo; rd_hi; a = ma; b = mb; fr = _; fw } ->
+              let a = ma and b = mb in
+              let fl_in = X86.Flags.initial in
+              let f = if signed then X86.Flags.imul else X86.Flags.mul in
+              let lo, hi, fl = f size fl_in (src a) (src b) in
+              push_eff t (Wreg (rd_lo, lo));
+              if fw >= 0 then push_eff t (Wreg (fw, fl));
+              (match rd_hi with
+              | Some r -> push_eff t (Wreg (r, hi))
+              | None -> ())
+          | DivX { signed; size; rd_q; rd_r; hi; lo; divisor } -> (
+              let f = if signed then X86.Flags.idiv else X86.Flags.div in
+              match f size (get hi) (get lo) (src divisor) with
+              | Some (q, r) ->
+                  push_eff t (Wreg (rd_q, q));
+                  push_eff t (Wreg (rd_r, r))
+              | None ->
+                  t.perf.Perf.x86_fault_atoms <-
+                    t.perf.Perf.x86_fault_atoms + 1;
+                  fault (Nexn.X86_fault X86.Exn.DE))
+          | SetCond { rd; cond; fr } ->
+              push_eff t
+                (Wreg (rd, if X86.Flags.eval_cond cond (get fr) then 1 else 0))
+          | ExtField { rd; rs; shift; width; sign } ->
+              let v = (get rs lsr shift) land ((1 lsl width) - 1) in
+              let v =
+                if sign && v land (1 lsl (width - 1)) <> 0 then
+                  mask32 (v - (1 lsl width))
+                else v
+              in
+              push_eff t (Wreg (rd, v))
+          | InsField { rd; rs; shift; width } ->
+              let m = (1 lsl width) - 1 in
+              let v =
+                get rd land lnot (m lsl shift)
+                lor ((get rs land m) lsl shift)
+              in
+              push_eff t (Wreg (rd, mask32 v))
+          | Load { rd; base; disp; size; spec; protect; check = _ } ->
+              t.perf.Perf.loads <- t.perf.Perf.loads + 1;
+              let vaddr = mask32 (get base + disp) in
+              push_eff t (Wreg (rd, do_load t ~vaddr ~size ~spec ~protect))
+          | Store { rs; base; disp; size; spec; check } ->
+              t.perf.Perf.stores <- t.perf.Perf.stores + 1;
+              let vaddr = mask32 (get base + disp) in
+              stage_store t ~vaddr ~size ~value:(src rs) ~spec ~check
+          | ArmRange { slot; base; disp; len } ->
+              (* arm immediately (phase 1): in-molecule atom order is
+                 program order, so stores in the same molecule already
+                 see the armed range *)
+              let rec arm vaddr remaining =
+                if remaining > 0 then begin
+                  let seg = min remaining (Machine.Mem.page_room vaddr) in
+                  let paddr = translate t Machine.Mmu.Read vaddr in
+                  Alias.arm t.alias ~slot ~paddr ~len:seg;
+                  arm (vaddr + seg) (remaining - seg)
+                end
+              in
+              (* multi-page ranges would need one slot per page; the
+                 code generator splits them, so assert single-page *)
+              arm (mask32 (get base + disp)) len
+          | Br { target } -> push_eff t (Goto target)
+          | BrCond { cond; fr; target } ->
+              if X86.Flags.eval_cond cond (get fr) then
+                push_eff t (Goto target)
+          | BrCmp { cmp; a; b; target } ->
+              if eval_cmp cmp (get a) (src b) then push_eff t (Goto target)
+          | Commit n -> push_eff t (Do_commit n)
+          | Exit i -> push_eff t (Take_exit i))
+        m
     with
     | exception Fault_ n -> `Fault n
-    | effects -> (
-        (* Phase 2: apply. *)
+    | () ->
+        (* Phase 2: apply, in staging order. *)
         let control = ref `Next in
-        List.iter
-          (fun effs ->
-            List.iter
-              (fun eff ->
-                match eff with
-                | Wreg (r, v) -> Regfile.set t.regs r v
-                | Push { paddr; size; value } -> (
-                    match Storebuf.push t.sbuf ~paddr ~size ~value with
-                    | Ok () -> ()
-                    | Error `Overflow ->
-                        t.perf.Perf.sbuf_overflows <-
-                          t.perf.Perf.sbuf_overflows + 1;
-                        control := `Fault Nexn.Sbuf_overflow)
-                | Goto tgt -> control := `Goto tgt
-                | Take_exit i ->
-                    t.perf.Perf.exits_taken <- t.perf.Perf.exits_taken + 1;
-                    control := `Exit i
-                | Do_commit n ->
-                    t.perf.Perf.x86_committed <- t.perf.Perf.x86_committed + n;
-                    commit t)
-              effs)
-          (List.rev effects);
+        for i = 0 to t.eff_len - 1 do
+          match Array.unsafe_get t.eff_buf i with
+          | Wreg (r, v) -> Regfile.set t.regs r v
+          | Push { paddr; size; value } -> (
+              match Storebuf.push t.sbuf ~paddr ~size ~value with
+              | Ok () -> ()
+              | Error `Overflow ->
+                  t.perf.Perf.sbuf_overflows <-
+                    t.perf.Perf.sbuf_overflows + 1;
+                  control := `Fault Nexn.Sbuf_overflow)
+          | Goto tgt -> control := `Goto tgt
+          | Take_exit i ->
+              t.perf.Perf.exits_taken <- t.perf.Perf.exits_taken + 1;
+              control := `Exit i
+          | Do_commit n ->
+              t.perf.Perf.x86_committed <- t.perf.Perf.x86_committed + n;
+              commit t
+        done;
         if t.enforce_latency then Array.iter (note_defs t now) m;
-        !control)
+        !control
   in
   step 0

@@ -34,12 +34,23 @@ let set_committed t r v =
   t.working.(r) <- v;
   t.shadow.(r) <- v
 
+(* Manual copy loops: commit runs once per interpreted instruction and
+   per translated molecule with a Do_commit, so the [Array.blit] call
+   overhead (bounds checks + C call) is measurable.  [shadow_count] is
+   a dozen registers; an unrolled-by-the-compiler int loop beats the
+   memmove call at this size. *)
 let commit t =
-  Array.blit t.working 0 t.shadow 0 Abi.shadow_count;
+  let w = t.working and s = t.shadow in
+  for i = 0 to Abi.shadow_count - 1 do
+    Array.unsafe_set s i (Array.unsafe_get w i)
+  done;
   t.commits <- t.commits + 1
 
 let rollback t =
-  Array.blit t.shadow 0 t.working 0 Abi.shadow_count;
+  let w = t.working and s = t.shadow in
+  for i = 0 to Abi.shadow_count - 1 do
+    Array.unsafe_set w i (Array.unsafe_get s i)
+  done;
   t.rollbacks <- t.rollbacks + 1
 
 (** Is the working x86 state identical to the committed state? *)

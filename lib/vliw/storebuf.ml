@@ -78,12 +78,14 @@ let read t ~mem_read ~paddr ~size =
 
 (** Release all buffered stores to memory in program (FIFO) order. *)
 let commit t ~mem_write =
-  List.iter
-    (fun { paddr; size; value } -> mem_write paddr size value)
-    (List.rev t.entries);
-  t.total_committed <- t.total_committed + t.count;
-  t.entries <- [];
-  t.count <- 0
+  if t.entries != [] then begin
+    List.iter
+      (fun { paddr; size; value } -> mem_write paddr size value)
+      (List.rev t.entries);
+    t.total_committed <- t.total_committed + t.count;
+    t.entries <- [];
+    t.count <- 0
+  end
 
 (** Drop everything (rollback). *)
 let rollback t =

@@ -286,10 +286,142 @@ let device_tests =
     Alcotest.test_case "dma smc notify" `Quick test_dma_smc_notify;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Host fast paths: software-TLB and RAM-fast-path invalidation.       *)
+(* Every test here relies on the caches being ON (the default); the    *)
+(* point is that stale entries must die on every remapping event.      *)
+(* ------------------------------------------------------------------ *)
+
+let test_tlb_remap_invalidates () =
+  let m = Mmu.create () in
+  Mmu.map m ~virt:0x4000 ~phys:0x1000 ~writable:true;
+  (* fill the TLB for all three access kinds *)
+  check ci "read 1" 0x1010 (Mmu.translate m Mmu.Read 0x4010);
+  check ci "write 1" 0x1010 (Mmu.translate m Mmu.Write 0x4010);
+  check ci "exec 1" 0x1010 (Mmu.translate m Mmu.Exec 0x4010);
+  (* remap the same virtual page elsewhere: cached entries must die *)
+  Mmu.map m ~virt:0x4000 ~phys:0x2000 ~writable:true;
+  check ci "read 2" 0x2010 (Mmu.translate m Mmu.Read 0x4010);
+  check ci "write 2" 0x2010 (Mmu.translate m Mmu.Write 0x4010);
+  check ci "exec 2" 0x2010 (Mmu.translate m Mmu.Exec 0x4010)
+
+let test_tlb_unmap_invalidates () =
+  let m = Mmu.create () in
+  Mmu.map m ~virt:0x4000 ~phys:0x1000 ~writable:true;
+  check ci "hit" 0x1000 (Mmu.translate m Mmu.Read 0x4000);
+  Mmu.unmap m ~virt:0x4000;
+  expect_pf (fun () -> Mmu.translate m Mmu.Read 0x4000)
+
+let test_tlb_set_writable_invalidates () =
+  let m = Mmu.create () in
+  Mmu.map m ~virt:0x4000 ~phys:0x1000 ~writable:true;
+  check ci "write ok" 0x1000 (Mmu.translate m Mmu.Write 0x4000);
+  Mmu.set_writable m ~virt:0x4000 false;
+  (* the cached Write-way entry must not authorize this store *)
+  expect_pf ~write:true ~present:true (fun () ->
+      Mmu.translate m Mmu.Write 0x4000);
+  check ci "read survives" 0x1000 (Mmu.translate m Mmu.Read 0x4000);
+  Mmu.set_writable m ~virt:0x4000 true;
+  check ci "write again" 0x1000 (Mmu.translate m Mmu.Write 0x4000)
+
+let test_tlb_enable_toggle_invalidates () =
+  let m = Mmu.create () in
+  Mmu.map m ~virt:0x5000 ~phys:0x2000 ~writable:true;
+  check ci "mapped" 0x2000 (Mmu.translate m Mmu.Read 0x5000);
+  Mmu.set_enabled m false;
+  (* disabled: virtual = physical; a stale TLB entry would say 0x2000 *)
+  check ci "identity" 0x5000 (Mmu.translate m Mmu.Read 0x5000);
+  Mmu.set_enabled m true;
+  check ci "mapped again" 0x2000 (Mmu.translate m Mmu.Read 0x5000)
+
+let test_tlb_counters_and_off_mode () =
+  let m = Mmu.create () in
+  Mmu.map m ~virt:0x4000 ~phys:0x1000 ~writable:true;
+  ignore (Mmu.translate m Mmu.Read 0x4000);
+  ignore (Mmu.translate m Mmu.Read 0x4004);
+  check cb "counted a hit" true (m.Mmu.tlb_hits >= 1);
+  check cb "counted a miss" true (m.Mmu.tlb_misses >= 1);
+  (* with fast paths off, translation still works and counters stop *)
+  m.Mmu.fast_paths <- false;
+  Mmu.flush_tlb m;
+  let h = m.Mmu.tlb_hits and mi = m.Mmu.tlb_misses in
+  check ci "slow path" 0x1008 (Mmu.translate m Mmu.Read 0x4008);
+  check ci "hits frozen" h m.Mmu.tlb_hits;
+  check ci "misses frozen" mi m.Mmu.tlb_misses
+
+let test_translate_opt_no_exceptions () =
+  let m = Mmu.create () in
+  check cb "unmapped" true (Mmu.translate_opt m Mmu.Read 0x9000 = None);
+  Mmu.map m ~virt:0x9000 ~phys:0x3000 ~writable:false;
+  check cb "mapped" true (Mmu.translate_opt m Mmu.Read 0x9abc = Some 0x3abc);
+  check cb "ro write" true (Mmu.translate_opt m Mmu.Write 0x9abc = None)
+
+(* The RAM fast path must defer to protection: page-level and
+   fine-grain SMC events fire identically with the fast path on. *)
+let fg_events_with mode =
+  let m = mk_mem () in
+  Mem.set_fast_paths m mode;
+  let events = ref [] in
+  m.Mem.on_smc <-
+    (fun hit ~paddr ~len:_ ->
+      events := hit :: !events;
+      match hit with
+      | Mem.Fg_miss -> Finegrain.install m.Mem.fg ~ppn:(paddr lsr 12) ~mask:1L
+      | Mem.Fg_chunk | Mem.Page_level -> Mem.unprotect_page m ~ppn:(paddr lsr 12));
+  Mem.protect_page m ~ppn:3;
+  Mem.set_fg_mode m ~ppn:3 true;
+  Mem.write m ~size:4 0x3100 7;
+  Mem.write m ~size:4 0x3104 8;
+  Mem.write m ~size:4 0x3004 9;
+  List.rev !events
+
+let test_fast_path_keeps_fg_events () =
+  let fast = fg_events_with true and slow = fg_events_with false in
+  check cb "Fg_miss then Fg_chunk" true (fast = [ Mem.Fg_miss; Mem.Fg_chunk ]);
+  check cb "same either mode" true (fast = slow)
+
+(* MMIO never takes the RAM fast path: device read/write counters must
+   advance identically in both modes (the framebuffer at 0xa0000). *)
+let test_fast_path_mmio_exact () =
+  let counts mode =
+    let plat = Platform.create ~ram_size:(2 * 1024 * 1024) () in
+    let m = plat.Platform.mem in
+    Mem.set_fast_paths m mode;
+    Mmu.map_identity m.Mem.mmu ~virt:0 ~pages:512 ~writable:true;
+    Mem.write m ~size:1 0xa0000 0x12;
+    ignore (Mem.read m ~size:1 0xa0000);
+    Mem.write m ~size:4 0x8000 1;
+    ignore (Mem.read m ~size:4 0x8000);
+    (m.Mem.bus.Bus.mmio_reads, m.Mem.bus.Bus.mmio_writes)
+  in
+  check cb "mmio counted both modes" true (counts true = counts false);
+  check cb "exactly one read+write" true (counts true = (1, 1))
+
+let hotpath_tests =
+  [
+    Alcotest.test_case "tlb: remap invalidates" `Quick
+      test_tlb_remap_invalidates;
+    Alcotest.test_case "tlb: unmap invalidates" `Quick
+      test_tlb_unmap_invalidates;
+    Alcotest.test_case "tlb: set_writable invalidates" `Quick
+      test_tlb_set_writable_invalidates;
+    Alcotest.test_case "tlb: enable toggle invalidates" `Quick
+      test_tlb_enable_toggle_invalidates;
+    Alcotest.test_case "tlb: counters + off mode" `Quick
+      test_tlb_counters_and_off_mode;
+    Alcotest.test_case "translate_opt: no exceptions" `Quick
+      test_translate_opt_no_exceptions;
+    Alcotest.test_case "fast path keeps fg events" `Quick
+      test_fast_path_keeps_fg_events;
+    Alcotest.test_case "fast path keeps mmio exact" `Quick
+      test_fast_path_mmio_exact;
+  ]
+
 let suites =
   [
     ("machine.mmu", mmu_tests);
     ("machine.finegrain", fg_tests);
     ("machine.mem", mem_tests);
     ("machine.devices", device_tests);
+    ("machine.hotpath", hotpath_tests);
   ]
