@@ -1,0 +1,167 @@
+(* cmsfuzz: differential fuzzer for the CMS runtime.
+
+   Generates random guest programs with injected events (interrupts,
+   DMA, protection flips), runs each under interpreter-only /
+   translator / fast-paths-off oracles and demands identical
+   architectural results plus verifier-clean translations.  Diverging
+   cases are shrunk to minimal repros and written to the corpus.
+
+     dune exec bin/cmsfuzz.exe -- --seed 1 --cases 1000
+     dune exec bin/cmsfuzz.exe -- --seed 7 --cases 50 --json
+     dune exec bin/cmsfuzz.exe -- --replay test/corpus/smc-patch.case
+
+   Exits non-zero if any divergence (or replay failure) was found. *)
+
+let replay_cmd files json =
+  let results = List.map (fun f -> (f, Cms_fuzz.Corpus.replay f)) files in
+  let failed =
+    List.filter
+      (fun (_, v) -> match v with Cms_fuzz.Oracle.Pass -> false | _ -> true)
+      results
+  in
+  if json then begin
+    let entry (f, v) =
+      Fmt.str "{\"file\":%S,\"verdict\":%S}" f
+        (match v with
+        | Cms_fuzz.Oracle.Pass -> "pass"
+        | Cms_fuzz.Oracle.Hang -> "hang"
+        | Cms_fuzz.Oracle.Divergence r -> "divergence: " ^ r)
+    in
+    Fmt.pr "{\"replays\":[%s],\"failures\":%d}@."
+      (String.concat "," (List.map entry results))
+      (List.length failed)
+  end
+  else
+    List.iter
+      (fun (f, v) ->
+        Fmt.pr "%-48s %s@." f
+          (match v with
+          | Cms_fuzz.Oracle.Pass -> "pass"
+          | Cms_fuzz.Oracle.Hang -> "HANG"
+          | Cms_fuzz.Oracle.Divergence r -> "DIVERGENCE: " ^ r))
+      results;
+  if failed <> [] then exit 1
+
+let fuzz_cmd seed cases max_insns out_dir json quiet =
+  let progress i v =
+    if (not json) && not quiet then begin
+      (match v with
+      | Cms_fuzz.Oracle.Pass -> ()
+      | Cms_fuzz.Oracle.Hang -> Fmt.pr "case %d: hang@." i
+      | Cms_fuzz.Oracle.Divergence r -> Fmt.pr "case %d: DIVERGENCE %s@." i r);
+      if (i + 1) mod 100 = 0 then Fmt.pr "... %d cases@." (i + 1)
+    end
+  in
+  (match out_dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | _ -> ());
+  let r = Cms_fuzz.Campaign.run ~progress ?out_dir ~max_insns ~seed ~cases () in
+  let cov = r.Cms_fuzz.Campaign.coverage in
+  let pct = Cms_fuzz.Coverage.percent cov in
+  let ndiv = List.length r.Cms_fuzz.Campaign.divergences in
+  if json then begin
+    let divs =
+      List.map
+        (fun (d : Cms_fuzz.Campaign.divergence) ->
+          Fmt.str "{\"case\":%d,\"reason\":%S%s}" d.Cms_fuzz.Campaign.index
+            d.Cms_fuzz.Campaign.reason
+            (match d.Cms_fuzz.Campaign.saved with
+            | Some p -> Fmt.str ",\"corpus\":%S" p
+            | None -> ""))
+        r.Cms_fuzz.Campaign.divergences
+    in
+    let counts =
+      Cms_fuzz.Coverage.to_list cov
+      |> List.map (fun (k, n) -> Fmt.str "%S:%d" k n)
+    in
+    Fmt.pr
+      "{\"seed\":%d,\"cases\":%d,\"passed\":%d,\"hangs\":%d,\
+       \"divergences\":[%s],\"coverage\":{\"hit\":%d,\"total\":%d,\
+       \"percent\":%.1f,\"counts\":{%s}},\"fingerprint\":%S}@."
+      r.Cms_fuzz.Campaign.seed r.Cms_fuzz.Campaign.cases
+      r.Cms_fuzz.Campaign.passed r.Cms_fuzz.Campaign.hangs
+      (String.concat "," divs)
+      (Cms_fuzz.Coverage.covered cov)
+      (Cms_fuzz.Coverage.total ())
+      pct
+      (String.concat "," counts)
+      (Digest.to_hex (Cms_fuzz.Campaign.fingerprint r))
+  end
+  else begin
+    Fmt.pr "@.seed %d: %d cases, %d passed, %d hangs, %d divergences@."
+      r.Cms_fuzz.Campaign.seed r.Cms_fuzz.Campaign.cases
+      r.Cms_fuzz.Campaign.passed r.Cms_fuzz.Campaign.hangs ndiv;
+    Fmt.pr "coverage: %d/%d keys (%.1f%%)@."
+      (Cms_fuzz.Coverage.covered cov)
+      (Cms_fuzz.Coverage.total ())
+      pct;
+    let missing = Cms_fuzz.Coverage.missing cov in
+    if missing <> [] && not quiet then
+      Fmt.pr "missing: %s@." (String.concat " " missing);
+    List.iter
+      (fun (d : Cms_fuzz.Campaign.divergence) ->
+        Fmt.pr "divergence in case %d: %s%s@." d.Cms_fuzz.Campaign.index
+          d.Cms_fuzz.Campaign.reason
+          (match d.Cms_fuzz.Campaign.saved with
+          | Some p -> " -> " ^ p
+          | None -> ""))
+      r.Cms_fuzz.Campaign.divergences;
+    Fmt.pr "fingerprint: %s@."
+      (Digest.to_hex (Cms_fuzz.Campaign.fingerprint r))
+  end;
+  if ndiv > 0 then exit 1
+
+let main seed cases max_insns replay out_dir json quiet =
+  match replay with
+  | [] -> fuzz_cmd seed cases max_insns out_dir json quiet
+  | files -> replay_cmd files json
+
+open Cmdliner
+
+let seed =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Campaign seed; the whole run is a pure function of it.")
+
+let cases =
+  Arg.(
+    value & opt int 100
+    & info [ "cases" ] ~docv:"N" ~doc:"Number of cases to generate.")
+
+let max_insns =
+  Arg.(
+    value
+    & opt int Cms_fuzz.Oracle.default_max_insns
+    & info [ "max-insns" ] ~docv:"N"
+        ~doc:"Per-run retired-instruction budget (hitting it counts as \
+              a hang).")
+
+let replay =
+  Arg.(
+    value & opt_all file []
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:"Replay a corpus case through the oracle instead of \
+              fuzzing (repeatable).")
+
+let out_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR"
+        ~doc:"Write minimized diverging cases to $(docv) as corpus \
+              files.")
+
+let json =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report on stdout.")
+
+let quiet =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No per-case progress output.")
+
+let cmd =
+  let doc = "differential fuzzing of the CMS runtime" in
+  Cmd.v
+    (Cmd.info "cmsfuzz" ~doc)
+    Term.(const main $ seed $ cases $ max_insns $ replay $ out_dir $ json $ quiet)
+
+let () = exit (Cmd.eval cmd)

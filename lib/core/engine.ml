@@ -20,6 +20,11 @@ type t = {
   adapt : Adapt.t;
   mutable ticked : int;  (** molecules already reported to the bus *)
   mutable irq_sample : int;  (** divider for in-translation IRQ polls *)
+  mutable on_boundary : (int -> unit) option;
+      (** Test/fuzz hook, called with the retired-instruction count at
+          the top of every dispatch iteration — a consistent
+          architectural boundary in every configuration.  Raising IRQ
+          lines here makes them deliverable within the same iteration. *)
 }
 
 let create ?(cfg = Config.default) plat =
@@ -35,7 +40,7 @@ let create ?(cfg = Config.default) plat =
   let smc = Smc.create ~cfg ~mem ~tcache ~adapt ~stats in
   let t =
     { cfg; plat; cpu; interp; profile; stats; tcache; smc; adapt;
-      ticked = 0; irq_sample = 0 }
+      ticked = 0; irq_sample = 0; on_boundary = None }
   in
   mem.Machine.Mem.on_smc <- (fun hit ~paddr ~len -> Smc.on_write smc hit ~paddr ~len);
   mem.Machine.Mem.on_dma_smc <- (fun ~ppn -> Smc.on_dma smc ~ppn);
@@ -343,6 +348,7 @@ let run ?(max_insns = max_int) t =
   let result = ref Halted in
   while !continue_ do
     tick_devices t;
+    (match t.on_boundary with None -> () | Some f -> f (retired t));
     if retired t >= max_insns then begin
       result := Insn_limit;
       continue_ := false

@@ -1,0 +1,87 @@
+(** Fuzzing campaign driver: generate → oracle → shrink → corpus.
+
+    A campaign is fully determined by its seed: each case gets an
+    independent child RNG via {!Srng.split}, so case [i] is the same
+    program whatever happened to cases [0..i-1], and the whole run —
+    case sequence, verdicts, coverage counters — replays bit-identically
+    from the seed ({!fingerprint} pins that in tests). *)
+
+type divergence = {
+  index : int;
+  reason : string;
+  minimized : Gen.case;
+  saved : string option;  (** corpus path, when [out_dir] was given *)
+}
+
+type result = {
+  seed : int;
+  cases : int;
+  passed : int;
+  hangs : int;
+  divergences : divergence list;
+  coverage : Coverage.t_counts;
+}
+
+(** Run [cases] cases from [seed].  Divergences are minimized and, when
+    [out_dir] is given, written there as corpus files.  [progress] is
+    called after each case with (index, verdict). *)
+let run ?(progress = fun _ _ -> ()) ?out_dir ?(max_insns = Oracle.default_max_insns)
+    ~seed ~cases () =
+  let root = Srng.create seed in
+  let coverage = Coverage.create () in
+  let passed = ref 0 in
+  let hangs = ref 0 in
+  let divergences = ref [] in
+  for index = 0 to cases - 1 do
+    let rng = Srng.split root in
+    let case = Gen.generate rng ~seed ~index in
+    Gen.note_coverage coverage case;
+    let rendered = Oracle.render ~max_insns case in
+    let verdict = Oracle.check rendered in
+    (match verdict with
+    | Oracle.Pass -> incr passed
+    | Oracle.Hang -> incr hangs
+    | Oracle.Divergence reason ->
+        let minimized = Shrink.minimize_diverging ~max_insns case in
+        let saved =
+          match out_dir with
+          | None -> None
+          | Some dir ->
+              let path =
+                Filename.concat dir (Fmt.str "seed%d-case%d.case" seed index)
+              in
+              Corpus.save path
+                (Oracle.render ~max_insns minimized)
+                ~seed
+                ~comment:
+                  [
+                    Fmt.str "minimized divergence: %s" reason;
+                    Fmt.str "campaign seed %d, case %d" seed index;
+                  ];
+              Some path
+        in
+        divergences := { index; reason; minimized; saved } :: !divergences);
+    progress index verdict
+  done;
+  {
+    seed;
+    cases;
+    passed = !passed;
+    hangs = !hangs;
+    divergences = List.rev !divergences;
+    coverage;
+  }
+
+(** Deterministic digest of everything a campaign observed: used to
+    assert that the same seed reproduces the identical case sequence
+    and coverage numbers. *)
+let fingerprint (r : result) =
+  Digest.string
+    (Marshal.to_string
+       ( r.seed,
+         r.cases,
+         r.passed,
+         r.hangs,
+         List.map (fun d -> (d.index, d.reason)) r.divergences,
+         Coverage.to_list r.coverage )
+       [])

@@ -1,0 +1,192 @@
+(** Opcode and event coverage accounting.
+
+    Every instruction the decoder supports maps to a canonical string
+    key ({!key}); {!all_keys} enumerates the complete supported table
+    (derived from {!exemplars}, one canonical instance per decode-table
+    arm).  A campaign counts the keys present in each generated case and
+    reports what fraction of the table the generator actually reached —
+    the ISSUE's ≥90 % acceptance gate. *)
+
+open X86.Insn
+
+let size_key = function S8 -> "8" | S32 -> "32"
+
+let shape_key = function
+  | RM_R (R _, _) -> "rr"
+  | RM_R (M _, _) -> "mr"
+  | R_RM (_, R _) -> "rr2"
+  | R_RM (_, M _) -> "rm"
+  | RM_I (R _, _) -> "ri"
+  | RM_I (M _, _) -> "mi"
+
+let rm_key = function R _ -> "r" | M _ -> "m"
+
+let count_key = function C1 -> "1" | Cimm _ -> "imm" | Ccl -> "cl"
+
+let port_key = function PortImm _ -> "imm" | PortDx -> "dx"
+
+(** Canonical coverage key of an instruction.  Operand registers,
+    immediates and branch targets are abstracted away; operand size,
+    operand shape (reg vs mem on each side) and sub-opcode are kept —
+    one key per distinct arm of the decoder's dispatch table. *)
+let key = function
+  | Arith (op, sz, ops) ->
+      Fmt.str "%s.%s.%s" (arith_name op) (size_key sz) (shape_key ops)
+  | Test (sz, rm, T_R _) -> Fmt.str "test.%s.%s_r" (size_key sz) (rm_key rm)
+  | Test (sz, rm, T_I _) -> Fmt.str "test.%s.%s_i" (size_key sz) (rm_key rm)
+  | Mov (sz, ops) -> Fmt.str "mov.%s.%s" (size_key sz) (shape_key ops)
+  | Movx { sign; src; _ } ->
+      Fmt.str "%s.%s" (if sign then "movsx" else "movzx") (rm_key src)
+  | Lea _ -> "lea"
+  | Xchg (sz, rm, _) -> Fmt.str "xchg.%s.%s" (size_key sz) (rm_key rm)
+  | Inc (sz, rm) -> Fmt.str "inc.%s.%s" (size_key sz) (rm_key rm)
+  | Dec (sz, rm) -> Fmt.str "dec.%s.%s" (size_key sz) (rm_key rm)
+  | Not (sz, rm) -> Fmt.str "not.%s.%s" (size_key sz) (rm_key rm)
+  | Neg (sz, rm) -> Fmt.str "neg.%s.%s" (size_key sz) (rm_key rm)
+  | Shift (op, sz, rm, c) ->
+      Fmt.str "%s.%s.%s.%s" (shift_name op) (size_key sz) (rm_key rm)
+        (count_key c)
+  | Mul (sz, rm) -> Fmt.str "mul.%s.%s" (size_key sz) (rm_key rm)
+  | Imul1 (sz, rm) -> Fmt.str "imul1.%s.%s" (size_key sz) (rm_key rm)
+  | Imul2 (_, rm) -> Fmt.str "imul2.%s" (rm_key rm)
+  | Div (sz, rm) -> Fmt.str "div.%s.%s" (size_key sz) (rm_key rm)
+  | Idiv (sz, rm) -> Fmt.str "idiv.%s.%s" (size_key sz) (rm_key rm)
+  | Cdq -> "cdq"
+  | Push (PushR _) -> "push.r"
+  | Push (PushI _) -> "push.i"
+  | Push (PushM _) -> "push.m"
+  | Pop rm -> Fmt.str "pop.%s" (rm_key rm)
+  | Pushf -> "pushf"
+  | Popf -> "popf"
+  | Jcc (cc, _) -> Fmt.str "j%s" (X86.Cond.name cc)
+  | Setcc (cc, rm) -> Fmt.str "set%s.%s" (X86.Cond.name cc) (rm_key rm)
+  | Jmp _ -> "jmp"
+  | JmpInd rm -> Fmt.str "jmp_ind.%s" (rm_key rm)
+  | Call _ -> "call"
+  | CallInd rm -> Fmt.str "call_ind.%s" (rm_key rm)
+  | Ret 0 -> "ret"
+  | Ret _ -> "retn"
+  | Int3 -> "int3"
+  | Int _ -> "int"
+  | Iret -> "iret"
+  | In (sz, p) -> Fmt.str "in.%s.%s" (size_key sz) (port_key p)
+  | Out (sz, p) -> Fmt.str "out.%s.%s" (size_key sz) (port_key p)
+  | Hlt -> "hlt"
+  | Nop -> "nop"
+  | Cli -> "cli"
+  | Sti -> "sti"
+  | Strop { rep; op; size } ->
+      Fmt.str "%s%s.%s"
+        (if rep then "rep_" else "")
+        (match op with Movs -> "movs" | Stos -> "stos")
+        (size_key size)
+  | Lidt _ -> "lidt"
+
+(* ------------------------------------------------------------------ *)
+(* The supported table                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let all_sizes = [ S8; S32 ]
+let r1 = X86.Regs.ecx (* arbitrary canonical operand registers *)
+let r2 = X86.Regs.ebx
+let m1 = X86.Insn.mem ~base:X86.Regs.esi 8
+let all_rms = [ R r1; M m1 ]
+
+let all_shapes =
+  [ RM_R (R r1, r2); RM_R (M m1, r2); R_RM (r1, R r2); R_RM (r1, M m1);
+    RM_I (R r1, 5); RM_I (M m1, 5) ]
+
+let all_conds = X86.Cond.all
+
+(** One canonical instruction per arm of the decoder's dispatch table.
+    This list *defines* the coverage denominator, and the exhaustive
+    encode→decode→encode property in [test_x86] walks it (with
+    randomized operands) to pin the round-trip. *)
+let exemplars : t list =
+  let cart f xs ys = List.concat_map (fun x -> List.map (f x) ys) xs in
+  let ops = [ Add; Or; Adc; Sbb; And; Sub; Xor; Cmp ] in
+  List.concat
+    [
+      (* Arith: 8 ops x 2 sizes x 6 shapes *)
+      List.concat_map
+        (fun op -> cart (fun sz sh -> Arith (op, sz, sh)) all_sizes all_shapes)
+        ops;
+      cart (fun sz rm -> Test (sz, rm, T_R r2)) all_sizes all_rms;
+      cart (fun sz rm -> Test (sz, rm, T_I 3)) all_sizes all_rms;
+      cart (fun sz sh -> Mov (sz, sh)) all_sizes all_shapes;
+      List.map (fun src -> Movx { sign = false; dst = r1; src }) all_rms;
+      List.map (fun src -> Movx { sign = true; dst = r1; src }) all_rms;
+      [ Lea (r1, m1) ];
+      cart (fun sz rm -> Xchg (sz, rm, r2)) all_sizes all_rms;
+      cart (fun sz rm -> Inc (sz, rm)) all_sizes all_rms;
+      cart (fun sz rm -> Dec (sz, rm)) all_sizes all_rms;
+      cart (fun sz rm -> Not (sz, rm)) all_sizes all_rms;
+      cart (fun sz rm -> Neg (sz, rm)) all_sizes all_rms;
+      (* Shifts: 5 ops x 2 sizes x 2 rms x 3 counts *)
+      List.concat_map
+        (fun op ->
+          cart
+            (fun sz (rm, c) -> Shift (op, sz, rm, c))
+            all_sizes
+            (cart (fun rm c -> (rm, c)) all_rms [ C1; Cimm 3; Ccl ]))
+        [ Shl; Shr; Sar; Rol; Ror ];
+      cart (fun sz rm -> Mul (sz, rm)) all_sizes all_rms;
+      cart (fun sz rm -> Imul1 (sz, rm)) all_sizes all_rms;
+      List.map (fun rm -> Imul2 (r1, rm)) all_rms;
+      cart (fun sz rm -> Div (sz, rm)) all_sizes all_rms;
+      cart (fun sz rm -> Idiv (sz, rm)) all_sizes all_rms;
+      [ Cdq ];
+      [ Push (PushR r1); Push (PushI 42); Push (PushM m1) ];
+      [ Pop (R r1); Pop (M m1) ];
+      [ Pushf; Popf ];
+      List.map (fun cc -> Jcc (cc, 0x2000)) all_conds;
+      List.concat_map
+        (fun cc -> List.map (fun rm -> Setcc (cc, rm)) all_rms)
+        all_conds;
+      [ Jmp 0x2000; JmpInd (R r1); JmpInd (M m1) ];
+      [ Call 0x2000; CallInd (R r1); CallInd (M m1) ];
+      [ Ret 0; Ret 8 ];
+      [ Int3; Int 0x30; Iret ];
+      cart (fun sz p -> In (sz, p)) all_sizes [ PortImm 0xf1; PortDx ];
+      cart (fun sz p -> Out (sz, p)) all_sizes [ PortImm 0xf1; PortDx ];
+      [ Hlt; Nop; Cli; Sti ];
+      cart
+        (fun rep (op, size) -> Strop { rep; op; size })
+        [ false; true ]
+        (cart (fun op size -> (op, size)) [ Movs; Stos ] all_sizes);
+      [ Lidt m1 ];
+    ]
+
+let event_keys = [ "ev.irq"; "ev.dma"; "ev.prot" ]
+
+let all_keys =
+  List.sort_uniq compare (List.map key exemplars) @ event_keys
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t_counts = (string, int) Hashtbl.t
+
+let create () : t_counts = Hashtbl.create 256
+
+let note (t : t_counts) k =
+  Hashtbl.replace t k (1 + Option.value ~default:0 (Hashtbl.find_opt t k))
+
+let hit (t : t_counts) k = Hashtbl.mem t k
+
+let covered (t : t_counts) =
+  List.length (List.filter (Hashtbl.mem t) all_keys)
+
+let total () = List.length all_keys
+
+let percent (t : t_counts) =
+  100.0 *. float_of_int (covered t) /. float_of_int (total ())
+
+let missing (t : t_counts) =
+  List.filter (fun k -> not (Hashtbl.mem t k)) all_keys
+
+(** Stable sorted (key, count) dump, for --json and determinism checks. *)
+let to_list (t : t_counts) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort compare

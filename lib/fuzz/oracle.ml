@@ -1,0 +1,221 @@
+(** Multi-oracle differential executor.
+
+    Each case runs under three configurations:
+
+    - {b A} interpreter-only (reference semantics),
+    - {b B} full translator with the static verifier armed,
+    - {b C} translator with host fast paths (software TLB, decode
+      cache, RAM fast path) disabled, verifier armed.
+
+    Correctness claims checked:
+
+    - A, B and C agree on everything *architectural*: GPRs, EIP, the
+      architectural EFLAGS, a digest of physical memory, MMIO/port
+      access counts, UART output and the frame-buffer checksum.  The
+      stack pages are zeroed before digesting: interrupt delivery
+      boundaries legitimately differ between interpreter and translator
+      (§3.3 — the translator only stops at consistent exits), leaving
+      different dead bytes below ESP.  CMS-internal event counters
+      (SMC, protection faults) are excluded too — the interpreter never
+      protects pages, so those ladders only run under B/C.
+    - B and C agree on the *strict* PR 2 digest as well: full stats
+      (host-cache counters normalized), molecule count, retired count,
+      SMC/protection/DMA-SMC events and the whole VLIW perf record —
+      fast paths must be observationally invisible.
+    - The translation verifier reports zero diagnostics in B and C.
+    - All three stop the same way.  Hitting the instruction limit in
+      every configuration is a {!Hang} (a generator bug, counted but
+      not bit-compared — states at an arbitrary cut-off differ
+      legitimately); hitting it in only some is a divergence. *)
+
+type rendered = {
+  listing : X86.Asm.listing;
+  entry : int;
+  events : Inject.event list;
+  max_insns : int;
+}
+
+let default_max_insns = 200_000
+
+let render ?(max_insns = default_max_insns) (case : Gen.case) =
+  {
+    listing = Gen.assemble case.Gen.prog;
+    entry = Gen.code_base;
+    events = case.Gen.events;
+    max_insns;
+  }
+
+(* 2 MiB backs exactly the identity-mapped window the generator uses;
+   keeping RAM small keeps the per-run memory digests cheap. *)
+let ram_size = 2 * 1024 * 1024
+
+let cfg_interp =
+  { Cms.Config.default with Cms.Config.translate_threshold = max_int }
+
+let cfg_translate =
+  { Cms.Config.default with Cms.Config.verify_translations = true }
+
+let cfg_nofast =
+  { cfg_translate with Cms.Config.host_fast_paths = false }
+
+(* ------------------------------------------------------------------ *)
+(* Digests                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mem_digest_sans_stack (c : Cms.t) =
+  let m = Cms.mem c in
+  let data = Bytes.copy m.Machine.Mem.phys.Machine.Phys.data in
+  Bytes.fill data Gen.stack_lo (Gen.stack_top - Gen.stack_lo) '\x00';
+  Digest.bytes data
+
+(** Cross-configuration architectural state (see module doc). *)
+type arch = {
+  gprs : int list;
+  eip : int;
+  eflags : int;
+  mem : Digest.t;
+  mmio_reads : int;
+  mmio_writes : int;
+  port_ops : int;
+  uart : string;
+  fb : int;
+}
+
+let arch_digest (c : Cms.t) =
+  let m = Cms.mem c in
+  let bus = m.Machine.Mem.bus in
+  {
+    gprs = List.map (Cms.gpr c) X86.Regs.all;
+    eip = Cms.eip c;
+    eflags = Cms.eflags c;
+    mem = mem_digest_sans_stack c;
+    mmio_reads = bus.Machine.Bus.mmio_reads;
+    mmio_writes = bus.Machine.Bus.mmio_writes;
+    port_ops = bus.Machine.Bus.port_ops;
+    uart = Cms.uart_output c;
+    fb = Machine.Framebuf.checksum (Cms.platform c).Machine.Platform.fb;
+  }
+
+(** Which fields of two architectural states differ (for divergence
+    reports). *)
+let arch_diff x y =
+  let d = ref [] in
+  let add fmt = Format.kasprintf (fun s -> d := s :: !d) fmt in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then add "%s=%#x/%#x" X86.Regs.name32.(i) a b)
+    (List.combine x.gprs y.gprs);
+  if x.eip <> y.eip then add "eip=%#x/%#x" x.eip y.eip;
+  if x.eflags <> y.eflags then add "eflags=%#x/%#x" x.eflags y.eflags;
+  if x.mem <> y.mem then add "mem";
+  if x.mmio_reads <> y.mmio_reads then
+    add "mmio_reads=%d/%d" x.mmio_reads y.mmio_reads;
+  if x.mmio_writes <> y.mmio_writes then
+    add "mmio_writes=%d/%d" x.mmio_writes y.mmio_writes;
+  if x.port_ops <> y.port_ops then add "port_ops=%d/%d" x.port_ops y.port_ops;
+  if x.uart <> y.uart then add "uart";
+  if x.fb <> y.fb then add "fb=%d/%d" x.fb y.fb;
+  String.concat " " (List.rev !d)
+
+(** B-vs-C digest: everything in the PR 2 fast-path differential —
+    guest state plus cost model plus event counters plus perf. *)
+let strict_digest (c : Cms.t) =
+  let s = Cms.stats c in
+  let s_norm =
+    {
+      s with
+      Cms.Stats.tlb_hits = 0;
+      tlb_misses = 0;
+      dcache_hits = 0;
+      dcache_misses = 0;
+      dcache_invalidations = 0;
+      ram_fast_reads = 0;
+      ram_fast_writes = 0;
+    }
+  in
+  let m = Cms.mem c in
+  ( arch_digest c,
+    (s_norm, Cms.total_molecules c, Cms.retired c),
+    ( m.Machine.Mem.smc_events,
+      m.Machine.Mem.page_prot_faults,
+      m.Machine.Mem.dma_smc_events ),
+    Cms.perf c )
+
+(* ------------------------------------------------------------------ *)
+(* Running one configuration                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stop_kind = Halted | Limit | Crash of string
+
+type outcome = {
+  stop : stop_kind;
+  arch : arch;
+  strict : Digest.t;
+  ndiags : int;  (** verifier diagnostics collected during the run *)
+}
+
+let run_config cfg (r : rendered) : outcome =
+  let result, diags =
+    Cms_analysis.Pipeline.with_collect (fun () ->
+        let c = Cms.create ~cfg ~ram_size () in
+        Cms.load c r.listing;
+        Cms.boot c ~entry:r.entry;
+        Inject.install c r.events;
+        match Cms.run ~max_insns:r.max_insns c with
+        | Cms.Engine.Halted -> (Halted, c)
+        | Cms.Engine.Insn_limit -> (Limit, c)
+        | exception Cms.Cpu.Panic msg -> (Crash msg, c))
+  in
+  let stop, c = result in
+  {
+    stop;
+    arch = arch_digest c;
+    strict = Digest.string (Marshal.to_string (strict_digest c) []);
+    ndiags = List.length diags;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Verdict                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Pass
+  | Hang  (** instruction limit reached in every configuration *)
+  | Divergence of string
+
+let stop_name = function
+  | Halted -> "halted"
+  | Limit -> "insn-limit"
+  | Crash m -> "crash:" ^ m
+
+(** Run a rendered case under all three oracles and compare. *)
+let check (r : rendered) : verdict =
+  let a = run_config cfg_interp r in
+  let b = run_config cfg_translate r in
+  let c = run_config cfg_nofast r in
+  let crash = List.exists (fun o -> match o.stop with Crash _ -> true | _ -> false) in
+  if crash [ a; b; c ] then
+    Divergence
+      (Fmt.str "crash (interp=%s translator=%s nofast=%s)" (stop_name a.stop)
+         (stop_name b.stop) (stop_name c.stop))
+  else if a.stop = Limit && b.stop = Limit && c.stop = Limit then Hang
+  else if a.stop <> b.stop || b.stop <> c.stop then
+    Divergence
+      (Fmt.str "stop mismatch (interp=%s translator=%s nofast=%s)"
+         (stop_name a.stop) (stop_name b.stop) (stop_name c.stop))
+  else if b.ndiags > 0 || c.ndiags > 0 then
+    Divergence
+      (Fmt.str "verifier diagnostics (translator=%d nofast=%d)" b.ndiags
+         c.ndiags)
+  else if a.arch <> b.arch then
+    Divergence
+      ("interpreter vs translator: " ^ arch_diff a.arch b.arch)
+  else if a.arch <> c.arch then
+    Divergence
+      ("interpreter vs fast-paths-off: " ^ arch_diff a.arch c.arch)
+  else if b.strict <> c.strict then
+    Divergence "strict digest: fast paths on vs off"
+  else Pass
+
+let diverges (r : rendered) =
+  match check r with Divergence _ -> true | Pass | Hang -> false

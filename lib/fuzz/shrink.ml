@@ -1,0 +1,106 @@
+(** Greedy case minimization.
+
+    Structure-aware shrinking: candidates delete whole semantic slots
+    (an instruction plus its operand setup), empty blocks and leaf
+    functions, drop loop wrappers and remove injected events — never
+    individual bytes — so every candidate re-renders to a valid,
+    terminating program.  Block and function *skeletons* are kept (their
+    labels are referenced by SMC patch slots and the function table);
+    only their contents shrink.
+
+    Each candidate is re-rendered and re-checked with the caller's
+    predicate; a candidate is kept only if it still reproduces.  Passes
+    repeat to a fixpoint.  Every decision is a pure function of the
+    input case and the predicate, so minimization is deterministic —
+    the same diverging case always shrinks to the same minimal repro. *)
+
+(** Total shrinkable weight: slots, loop wrappers and events. *)
+let size (c : Gen.case) =
+  let p = c.Gen.prog in
+  let block_w (b : Gen.block) =
+    List.length b.Gen.slots + match b.Gen.loop with Some _ -> 1 | None -> 0
+  in
+  List.fold_left (fun a b -> a + block_w b) 0 p.Gen.blocks
+  + List.fold_left (fun a f -> a + List.length f.Gen.fslots) 0 p.Gen.funcs
+  + List.length c.Gen.events
+
+let set_nth l i v = List.mapi (fun j x -> if j = i then v else x) l
+let drop_nth l i = List.filteri (fun j _ -> j <> i) l
+
+(** Minimize [case] with respect to [check] (true = still reproduces).
+    @raise Invalid_argument if [check case] is false to begin with. *)
+let minimize ~check (case : Gen.case) =
+  if not (check case) then
+    invalid_arg "Shrink.minimize: case does not reproduce";
+  let current = ref case in
+  let accept c = if check c then (current := c; true) else false in
+  let with_blocks c blocks =
+    { c with Gen.prog = { c.Gen.prog with Gen.blocks } }
+  in
+  let with_funcs c funcs =
+    { c with Gen.prog = { c.Gen.prog with Gen.funcs } }
+  in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let mark b = if b then progress := true in
+    (* drop all events at once, then one at a time (back to front) *)
+    let c = !current in
+    if c.Gen.events <> [] then mark (accept { c with Gen.events = [] });
+    for i = List.length !current.Gen.events - 1 downto 0 do
+      let c = !current in
+      mark (accept { c with Gen.events = drop_nth c.Gen.events i })
+    done;
+    (* empty whole blocks (keeping the skeleton), back to front *)
+    for i = List.length !current.Gen.prog.Gen.blocks - 1 downto 0 do
+      let c = !current in
+      let b = List.nth c.Gen.prog.Gen.blocks i in
+      if b.Gen.slots <> [] || b.Gen.loop <> None then
+        mark
+          (accept
+             (with_blocks c
+                (set_nth c.Gen.prog.Gen.blocks i
+                   { Gen.loop = None; slots = [] })))
+    done;
+    (* per-block: drop the loop wrapper, then individual slots *)
+    for i = List.length !current.Gen.prog.Gen.blocks - 1 downto 0 do
+      let c = !current in
+      let b = List.nth c.Gen.prog.Gen.blocks i in
+      if b.Gen.loop <> None then
+        mark
+          (accept
+             (with_blocks c
+                (set_nth c.Gen.prog.Gen.blocks i { b with Gen.loop = None })));
+      let b = List.nth !current.Gen.prog.Gen.blocks i in
+      for s = List.length b.Gen.slots - 1 downto 0 do
+        let c = !current in
+        let b = List.nth c.Gen.prog.Gen.blocks i in
+        if s < List.length b.Gen.slots then
+          mark
+            (accept
+               (with_blocks c
+                  (set_nth c.Gen.prog.Gen.blocks i
+                     { b with Gen.slots = drop_nth b.Gen.slots s })))
+      done
+    done;
+    (* per-function slot deletion (skeleton + ret stay) *)
+    for i = List.length !current.Gen.prog.Gen.funcs - 1 downto 0 do
+      let c = !current in
+      let f = List.nth c.Gen.prog.Gen.funcs i in
+      for s = List.length f.Gen.fslots - 1 downto 0 do
+        let c = !current in
+        let f = List.nth c.Gen.prog.Gen.funcs i in
+        if s < List.length f.Gen.fslots then
+          mark
+            (accept
+               (with_funcs c
+                  (set_nth c.Gen.prog.Gen.funcs i
+                     { f with Gen.fslots = drop_nth f.Gen.fslots s })))
+      done
+    done
+  done;
+  !current
+
+(** Shrink against the full differential oracle. *)
+let minimize_diverging ?max_insns case =
+  minimize ~check:(fun c -> Oracle.diverges (Oracle.render ?max_insns c)) case

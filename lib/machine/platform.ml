@@ -20,6 +20,13 @@ let fb_size = 0x10000
 let timer_irq_line = 0
 let disk_irq_line = 5
 
+(** Free imm8-addressable port reserved for test/fuzz harnesses.  An
+    [out] to it is an interpreter-only instruction, so it marks an exact
+    architectural point in every execution configuration — harnesses
+    attach a handler here to trigger synchronous injected events (DMA
+    writes, protection flips). *)
+let fuzz_port = 0xf1
+
 type t = {
   mem : Mem.t;
   irq : Irq.t;

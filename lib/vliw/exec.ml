@@ -119,10 +119,20 @@ let read_mem t paddr size =
 
 (* A load or store may cross a page boundary; physical ranges are then
    discontiguous, so process per byte in that (rare) case. *)
+(* I/O space is off-limits to translated code entirely, spec bit or
+   not: any access inside a translation is at risk of rollback (a later
+   fault in the same region replays from the committed state), and a
+   device read must not happen twice — so even an in-order MMIO access
+   faults here and executes interpretively (§3.4).  Recurring faults
+   make the adaptive machinery carve the instruction out as an
+   interpreter exit.  (Found by differential fuzzing: an MMIO load
+   followed by an SMC-faulting store in the same region read the device
+   once in the interpreter, twice under the translator.) *)
 let rec do_load t ~vaddr ~size ~spec ~protect =
+  ignore (spec : bool);
   if size <= Machine.Mem.page_room vaddr then begin
     let paddr = translate t Machine.Mmu.Read vaddr in
-    if spec && Machine.Bus.is_mmio t.mem.Machine.Mem.bus paddr then begin
+    if Machine.Bus.is_mmio t.mem.Machine.Mem.bus paddr then begin
       t.perf.Perf.mmio_spec_faults <- t.perf.Perf.mmio_spec_faults + 1;
       fault (Nexn.Mmio_spec paddr)
     end;

@@ -62,7 +62,23 @@ let forwarded_byte t addr =
 (** Read [size] bytes at [paddr], taking each byte from the youngest
     covering buffered store, or from [mem_read] otherwise. *)
 let read t ~mem_read ~paddr ~size =
-  if t.entries = [] then mem_read paddr size
+  (* Only assemble bytewise when some byte really forwards from a
+     buffered store: splitting a load that doesn't overlap the buffer
+     would turn one bus access into [size] — visibly different on I/O
+     space, where a device register must see a single full-width read
+     (found by differential fuzzing: an MMIO load executing while an
+     unrelated store sat in the buffer counted 4 device reads where the
+     interpreter counted 1). *)
+  let overlaps =
+    t.entries <> []
+    &&
+    let rec any i =
+      i < size
+      && (forwarded_byte t (paddr + i) <> None || any (i + 1))
+    in
+    any 0
+  in
+  if not overlaps then mem_read paddr size
   else begin
     let v = ref 0 in
     for i = 0 to size - 1 do

@@ -1,0 +1,266 @@
+(* Tests for the differential fuzzing subsystem: the splittable RNG,
+   coverage accounting, generator determinism, the greedy shrinker's
+   contract, corpus round-trips, replay of the checked-in corpus, and
+   campaign-level fingerprint determinism. *)
+
+open Cms_fuzz
+
+let ci = Alcotest.int
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Srng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let drain rng n = List.init n (fun _ -> Srng.next_int64 rng)
+
+let test_srng_deterministic () =
+  check
+    (Alcotest.list Alcotest.int64)
+    "same seed, same stream"
+    (drain (Srng.create 42) 16)
+    (drain (Srng.create 42) 16);
+  Alcotest.(check bool)
+    "different seeds differ" true
+    (drain (Srng.create 1) 16 <> drain (Srng.create 2) 16)
+
+let test_srng_split_independent () =
+  (* A child split off at position k yields the same stream no matter
+     how much the parent is consumed afterwards — the property the
+     campaign driver relies on for per-case independence. *)
+  let a = Srng.create 7 in
+  let c1 = Srng.split a in
+  ignore (drain a 100);
+  let want = drain c1 16 in
+  let b = Srng.create 7 in
+  let c2 = Srng.split b in
+  check (Alcotest.list Alcotest.int64) "child stream fixed at split" want
+    (drain c2 16);
+  (* siblings split consecutively are distinct *)
+  let p = Srng.create 7 in
+  let s1 = Srng.split p and s2 = Srng.split p in
+  Alcotest.(check bool)
+    "siblings differ" true
+    (drain s1 16 <> drain s2 16)
+
+let test_srng_bounds () =
+  let rng = Srng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Srng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of bounds: %d" v;
+    let r = Srng.range rng 5 9 in
+    if r < 5 || r > 9 then Alcotest.failf "range out of bounds: %d" r;
+    let w = Srng.weighted rng [| (1, `A); (0, `B) |] in
+    if w <> `A then Alcotest.fail "weighted picked zero-weight arm"
+  done;
+  Alcotest.check_raises "int 0 rejected" (Invalid_argument "Srng.int")
+    (fun () -> ignore (Srng.int rng 0))
+
+let srng_tests =
+  [
+    Alcotest.test_case "deterministic" `Quick test_srng_deterministic;
+    Alcotest.test_case "split independence" `Quick test_srng_split_independent;
+    Alcotest.test_case "bounds" `Quick test_srng_bounds;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_coverage_table () =
+  (* every exemplar has a distinct key, and the table is what [total]
+     reports (plus the three event keys) *)
+  let keys = List.map Coverage.key Coverage.exemplars in
+  check ci "exemplar keys distinct"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  check ci "all_keys = exemplars + events"
+    (List.length keys + List.length Coverage.event_keys)
+    (Coverage.total ())
+
+let test_coverage_counting () =
+  let c = Coverage.create () in
+  check ci "empty" 0 (Coverage.covered c);
+  Coverage.note c "lea";
+  Coverage.note c "lea";
+  Coverage.note c "ev.irq";
+  check ci "covered" 2 (Coverage.covered c);
+  Alcotest.(check bool) "hit" true (Coverage.hit c "lea");
+  Alcotest.(check bool) "not hit" false (Coverage.hit c "cdq");
+  check ci "count accumulates" 2 (List.assoc "lea" (Coverage.to_list c));
+  Alcotest.(check bool)
+    "missing excludes hits" true
+    (not (List.mem "lea" (Coverage.missing c)))
+
+let test_generator_keys_known () =
+  (* whatever the generator emits must land in the declared table —
+     otherwise the coverage percentage is measuring the wrong universe *)
+  let cov = Coverage.create () in
+  let rng = Srng.create 99 in
+  for index = 0 to 19 do
+    Gen.note_coverage cov (Gen.generate (Srng.split rng) ~seed:99 ~index)
+  done;
+  Hashtbl.iter
+    (fun k _ ->
+      if not (List.mem k Coverage.all_keys) then
+        Alcotest.failf "generator produced unknown coverage key %S" k)
+    cov
+
+let coverage_tests =
+  [
+    Alcotest.test_case "key table" `Quick test_coverage_table;
+    Alcotest.test_case "counting" `Quick test_coverage_counting;
+    Alcotest.test_case "generator keys known" `Quick test_generator_keys_known;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generator determinism                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let make () =
+    let rng = Srng.create 5 in
+    ignore (Srng.split rng);
+    Gen.generate (Srng.split rng) ~seed:5 ~index:1
+  in
+  let a = make () and b = make () in
+  Alcotest.(check bool)
+    "same image" true
+    ((Gen.assemble a.Gen.prog).X86.Asm.image
+    = (Gen.assemble b.Gen.prog).X86.Asm.image);
+  check ci "same events" (List.length a.Gen.events) (List.length b.Gen.events)
+
+let test_gen_programs_run () =
+  (* every generated program must terminate and be oracle-clean or a
+     counted hang — a quick sample (the campaign tests cover more) *)
+  let rng = Srng.create 11 in
+  for index = 0 to 4 do
+    let case = Gen.generate (Srng.split rng) ~seed:11 ~index in
+    match Oracle.check (Oracle.render case) with
+    | Oracle.Pass | Oracle.Hang -> ()
+    | Oracle.Divergence d -> Alcotest.failf "case %d diverges: %s" index d
+  done
+
+let gen_tests =
+  [
+    Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+    Alcotest.test_case "programs run clean" `Quick test_gen_programs_run;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_case () =
+  let rng = Srng.create 21 in
+  Gen.generate (Srng.split rng) ~seed:21 ~index:0
+
+let test_shrink_rejects_non_repro () =
+  Alcotest.check_raises "non-reproducing input rejected"
+    (Invalid_argument "Shrink.minimize: case does not reproduce")
+    (fun () -> ignore (Shrink.minimize ~check:(fun _ -> false) (sample_case ())))
+
+let test_shrink_preserves_predicate () =
+  (* shrink against a synthetic predicate: result must still satisfy it,
+     never grow, and reach the predicate's obvious minimum *)
+  let case = sample_case () in
+  let check_pred c =
+    List.exists (fun (b : Gen.block) -> b.Gen.slots <> []) c.Gen.prog.Gen.blocks
+  in
+  Alcotest.(check bool) "sample satisfies predicate" true (check_pred case);
+  let m = Shrink.minimize ~check:check_pred case in
+  Alcotest.(check bool) "minimized still satisfies" true (check_pred m);
+  Alcotest.(check bool)
+    "never grows" true
+    (Shrink.size m <= Shrink.size case);
+  (* greedy slot deletion against this predicate leaves exactly one slot
+     and nothing else shrinkable *)
+  check ci "fully minimized" 1 (Shrink.size m);
+  check ci "events dropped" 0 (List.length m.Gen.events)
+
+let test_shrink_deterministic () =
+  let case = sample_case () in
+  let check_pred c =
+    List.exists (fun (b : Gen.block) -> b.Gen.slots <> []) c.Gen.prog.Gen.blocks
+  in
+  let m1 = Shrink.minimize ~check:check_pred case in
+  let m2 = Shrink.minimize ~check:check_pred case in
+  Alcotest.(check bool)
+    "same minimal image" true
+    ((Gen.assemble m1.Gen.prog).X86.Asm.image
+    = (Gen.assemble m2.Gen.prog).X86.Asm.image)
+
+let shrink_tests =
+  [
+    Alcotest.test_case "rejects non-repro" `Quick test_shrink_rejects_non_repro;
+    Alcotest.test_case "preserves predicate" `Quick test_shrink_preserves_predicate;
+    Alcotest.test_case "deterministic" `Quick test_shrink_deterministic;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Corpus round-trip + replay                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_roundtrip () =
+  let case = sample_case () in
+  let r = Oracle.render case in
+  let path = Filename.temp_file "cmsfuzz" ".case" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Corpus.save path r ~seed:21 ~comment:[ "round-trip test" ];
+      let r', seed = Corpus.load path in
+      check ci "seed" 21 seed;
+      check ci "base" r.Oracle.listing.X86.Asm.base
+        r'.Oracle.listing.X86.Asm.base;
+      check ci "entry" r.Oracle.entry r'.Oracle.entry;
+      check ci "max_insns" r.Oracle.max_insns r'.Oracle.max_insns;
+      Alcotest.(check bool)
+        "image" true
+        (r.Oracle.listing.X86.Asm.image = r'.Oracle.listing.X86.Asm.image);
+      Alcotest.(check bool) "events" true (r.Oracle.events = r'.Oracle.events))
+
+(* The checked-in corpus: minimized repros of real divergences this
+   fuzzer found (each fixed in the commit that added the file) plus
+   hand-built SMC / interrupt edge cases.  All must replay clean. *)
+let corpus_replay_tests =
+  match Corpus.files "corpus" with
+  | [] -> [ Alcotest.test_case "corpus present" `Quick (fun () ->
+        Alcotest.fail "test/corpus is empty or missing") ]
+  | files ->
+      List.map
+        (fun path ->
+          Alcotest.test_case (Filename.basename path) `Quick (fun () ->
+              match Corpus.replay path with
+              | Oracle.Pass -> ()
+              | Oracle.Hang -> Alcotest.failf "%s hangs" path
+              | Oracle.Divergence d -> Alcotest.failf "%s diverges: %s" path d))
+        files
+
+(* ------------------------------------------------------------------ *)
+(* Campaign determinism                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_deterministic () =
+  let run () = Campaign.run ~seed:1 ~cases:25 () in
+  let a = run () and b = run () in
+  check ci "passed" a.Campaign.passed b.Campaign.passed;
+  Alcotest.(check string)
+    "fingerprint" (Digest.to_hex (Campaign.fingerprint a))
+    (Digest.to_hex (Campaign.fingerprint b));
+  check ci "no divergences" 0 (List.length a.Campaign.divergences)
+
+let campaign_tests =
+  [ Alcotest.test_case "fingerprint stable" `Slow test_campaign_deterministic ]
+
+let suites =
+  [
+    ("fuzz.srng", srng_tests);
+    ("fuzz.coverage", coverage_tests);
+    ("fuzz.gen", gen_tests);
+    ("fuzz.shrink", shrink_tests);
+    ( "fuzz.corpus",
+      Alcotest.test_case "round-trip" `Quick test_corpus_roundtrip
+      :: corpus_replay_tests );
+    ("fuzz.campaign", campaign_tests);
+  ]
