@@ -42,7 +42,7 @@ let replay_cmd files json =
       results;
   if failed <> [] then exit 1
 
-let fuzz_cmd seed cases max_insns out_dir json quiet =
+let fuzz_cmd seed cases max_insns chaos out_dir json quiet =
   let progress i v =
     if (not json) && not quiet then begin
       (match v with
@@ -55,7 +55,9 @@ let fuzz_cmd seed cases max_insns out_dir json quiet =
   (match out_dir with
   | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
   | _ -> ());
-  let r = Cms_fuzz.Campaign.run ~progress ?out_dir ~max_insns ~seed ~cases () in
+  let r =
+    Cms_fuzz.Campaign.run ~progress ?out_dir ~max_insns ~chaos ~seed ~cases ()
+  in
   let cov = r.Cms_fuzz.Campaign.coverage in
   let pct = Cms_fuzz.Coverage.percent cov in
   let ndiv = List.length r.Cms_fuzz.Campaign.divergences in
@@ -111,9 +113,9 @@ let fuzz_cmd seed cases max_insns out_dir json quiet =
   end;
   if ndiv > 0 then exit 1
 
-let main seed cases max_insns replay out_dir json quiet =
+let main seed cases max_insns chaos replay out_dir json quiet =
   match replay with
-  | [] -> fuzz_cmd seed cases max_insns out_dir json quiet
+  | [] -> fuzz_cmd seed cases max_insns chaos out_dir json quiet
   | files -> replay_cmd files json
 
 open Cmdliner
@@ -136,6 +138,16 @@ let max_insns =
     & info [ "max-insns" ] ~docv:"N"
         ~doc:"Per-run retired-instruction budget (hitting it counts as \
               a hang).")
+
+let chaos =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:"Run every case under the chaos oracle: the translator \
+              gets a seeded host-side fault-injection schedule \
+              (translator deaths, spurious rollbacks, cache storms, \
+              tiny capacities) and must still match the clean \
+              interpreter architecturally.")
 
 let replay =
   Arg.(
@@ -162,6 +174,8 @@ let cmd =
   let doc = "differential fuzzing of the CMS runtime" in
   Cmd.v
     (Cmd.info "cmsfuzz" ~doc)
-    Term.(const main $ seed $ cases $ max_insns $ replay $ out_dir $ json $ quiet)
+    Term.(
+      const main $ seed $ cases $ max_insns $ chaos $ replay $ out_dir $ json
+      $ quiet)
 
 let () = exit (Cmd.eval cmd)

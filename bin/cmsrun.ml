@@ -51,8 +51,10 @@ let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
           (Cms.retired t) s.Cms.Stats.x86_interp s.Cms.Stats.x86_translated;
         Fmt.pr "molecules: %d  (%.2f per x86 insn)@." (Cms.total_molecules t)
           (Cms.mpi t);
-        if stats || verbose then
+        if stats || verbose then begin
           Fmt.pr "host caches: %a@." Cms.Stats.pp_host s;
+          Fmt.pr "recovery: %a@." Cms.Stats.pp_recovery s
+        end;
         if verbose then begin
           Fmt.pr "stats: %a@." Cms.Stats.pp s;
           Fmt.pr "perf:  %a@." Vliw.Perf.pp p;
@@ -89,7 +91,10 @@ let no_fast_paths =
      the knob exists for measurement and fallback."
 
 let stats_flag =
-  flag [ "stats" ] "Print the host-side cache hit/miss counters."
+  flag [ "stats" ]
+    "Print the host-side cache hit/miss counters and the recovery \
+     counters (rollbacks, demotions, quarantines, containments, \
+     evictions)."
 
 let threshold =
   Arg.(value & opt int Cms.Config.default.Cms.Config.translate_threshold

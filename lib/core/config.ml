@@ -43,6 +43,22 @@ type t = {
       (** genuine x86 faults before narrowing the region *)
   smc_false_limit : int;
       (** protection faults with unchanged code before self-reval *)
+  (* --- recovery hardening: the demotion ladder and its budgets --- *)
+  adapt_capacity : int;
+      (** policy-table entries before coldest-entry eviction *)
+  demote_limit : int;
+      (** spec-fault escalations of one entry before the hard
+          conservative policy (no speculation, tiny regions) *)
+  quarantine_limit : int;
+      (** escalations before interpreter-only quarantine — the bound
+          that makes an always-faulting translation provably terminate
+          in interpreter mode *)
+  translate_fail_limit : int;
+      (** contained translator failures of one entry before quarantine *)
+  stall_limit : int;
+      (** consecutive dispatches with no architectural progress before
+          the dispatcher forces an interpreter step (forward-progress
+          watchdog) *)
   (* --- cost model (molecules) --- *)
   interp_cost : int;  (** per interpreted x86 instruction *)
   translate_cost : int;  (** per x86 instruction translated *)
@@ -93,6 +109,11 @@ let default =
     spec_fault_limit = 3;
     genuine_fault_limit = 3;
     smc_false_limit = 2;
+    adapt_capacity = 1024;
+    demote_limit = 3;
+    quarantine_limit = 5;
+    translate_fail_limit = 3;
+    stall_limit = 16;
     interp_cost = 45;
     translate_cost = 4000;
     rollback_cost = 4;

@@ -8,6 +8,25 @@
     external interrupts only at consistent boundaries, rolling back a
     translation the interrupt arrived in (§3.2, §3.3). *)
 
+(** Host-side fault-injection hooks (the chaos layer, {!Cms_robust}).
+    Each is called from a point where the injected adversity is
+    architecturally recoverable; the clean run installs none. *)
+type chaos = {
+  on_translate : int -> unit;
+      (** called with the entry address at the top of every translation
+          attempt, *inside* the containment boundary — raising here
+          simulates translator/verifier death *)
+  pre_exec : Tcache.trans -> Vliw.Nexn.t option;
+      (** consulted before a translation runs; [Some n] suppresses the
+          execution and injects native fault [n] at the first molecule
+          (a spurious rollback: the state is still at the commit
+          point), driving the recovery path and the demotion ladder *)
+  irq_spoof : unit -> bool;
+      (** spurious interrupt-pending signal for the in-translation
+          poll: forces an interrupt exit (and rollback when mid-flight)
+          with no interrupt actually deliverable *)
+}
+
 type t = {
   cfg : Config.t;
   plat : Machine.Platform.t;
@@ -25,6 +44,13 @@ type t = {
           the top of every dispatch iteration — a consistent
           architectural boundary in every configuration.  Raising IRQ
           lines here makes them deliverable within the same iteration. *)
+  mutable chaos : chaos option;  (** fault injection; [None] = clean run *)
+  (* forward-progress watchdog state *)
+  mutable stall_eip : int;  (** eip at the last dispatch iteration *)
+  mutable last_retired : int;
+  mutable stalls : int;
+      (** consecutive dispatch iterations with no retired progress at
+          the same eip *)
 }
 
 let create ?(cfg = Config.default) plat =
@@ -40,12 +66,16 @@ let create ?(cfg = Config.default) plat =
   let smc = Smc.create ~cfg ~mem ~tcache ~adapt ~stats in
   let t =
     { cfg; plat; cpu; interp; profile; stats; tcache; smc; adapt;
-      ticked = 0; irq_sample = 0; on_boundary = None }
+      ticked = 0; irq_sample = 0; on_boundary = None; chaos = None;
+      stall_eip = -1; last_retired = -1; stalls = 0 }
   in
   mem.Machine.Mem.on_smc <- (fun hit ~paddr ~len -> Smc.on_write smc hit ~paddr ~len);
   mem.Machine.Mem.on_dma_smc <- (fun ~ppn -> Smc.on_dma smc ~ppn);
   (* a tcache flush is the big hammer: dependent host caches die too *)
   tcache.Tcache.on_flush <- (fun () -> Interp.dcache_clear interp);
+  (* generational eviction is the gentle one: only the evicted records'
+     page protection needs re-deriving *)
+  tcache.Tcache.on_evict <- (fun tr -> Smc.note_evicted smc tr);
   t
 
 let perf t = t.cpu.Cpu.exec.Vliw.Exec.perf
@@ -78,8 +108,10 @@ let insert_zero_insn t entry =
   t.stats.Stats.translations <- t.stats.Stats.translations + 1;
   tr
 
-(** Translate the region at [entry] under its adaptive policy. *)
-let translate t entry =
+(* The translator proper; may raise (verifier rejection, translator
+   bug, injected chaos) — callers go through [translate] below, which
+   contains any escape. *)
+let translate_unprotected t entry =
   let mem = Cpu.mem t.cpu in
   let rec attempt policy =
     match Region.select ~mem ~profile:t.profile ~policy entry with
@@ -135,6 +167,30 @@ let translate t entry =
   in
   attempt (Adapt.get t.adapt entry)
 
+(** Translate the region at [entry] under its adaptive policy.
+
+    This is the containment boundary: any exception escaping region
+    selection, scheduling or code generation is absorbed here — counted,
+    charged against the entry's failure budget (repeat offenders are
+    quarantined), and turned into [None] so the dispatcher falls back to
+    the interpreter instead of the run dying.  Resource-exhaustion
+    exceptions still propagate: absorbing those would hide real trouble. *)
+let translate t entry =
+  if (Adapt.get t.adapt entry).Policy.interp_only then None
+  else
+    try
+      (match t.chaos with Some c -> c.on_translate entry | None -> ());
+      Some (translate_unprotected t entry)
+    with
+    | (Out_of_memory | Stack_overflow) as e -> raise e
+    | _ ->
+        t.stats.Stats.containments <- t.stats.Stats.containments + 1;
+        (match Adapt.note_translate_failure t.adapt entry with
+        | Some Adapt.Quarantined ->
+            t.stats.Stats.quarantines <- t.stats.Stats.quarantines + 1
+        | _ -> ());
+        None
+
 (* ------------------------------------------------------------------ *)
 (* Recovery (§3.2)                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -167,13 +223,26 @@ let replay_region t (tr : Tcache.trans) =
 let excessive t ~faults ~execs =
   faults >= t.cfg.Config.spec_fault_limit && faults * 64 >= execs
 
+(* One rung of the demotion ladder for [entry]; counts what happened.
+   Every scrapped-for-spec-faults translation goes through here, so the
+   per-entry escalation budget is what bounds the rollback storm of an
+   always-faulting entry (forward progress). *)
+let ladder_step t entry =
+  match Adapt.note_escalation t.adapt entry with
+  | Some Adapt.Demoted -> t.stats.Stats.demotions <- t.stats.Stats.demotions + 1
+  | Some Adapt.Quarantined ->
+      t.stats.Stats.quarantines <- t.stats.Stats.quarantines + 1
+  | None -> ()
+
 (* Escalate a speculative-fault class: first cut the region, then stop
-   reordering (paper §3.2 / §3.5). *)
+   reordering (paper §3.2 / §3.5); the ladder budget sits on top and
+   ends in quarantine. *)
 let escalate_spec t (tr : Tcache.trans) =
   let entry = tr.Tcache.entry in
   let n = Region.instruction_count tr.Tcache.region in
   if n > 8 then Adapt.cut_region t.adapt entry ~current:n
   else Adapt.set_no_reorder t.adapt entry;
+  ladder_step t entry;
   Smc.invalidate t.smc tr ~keep_in_group:false
 
 (** Handle a native fault from a translation.  The engine has already
@@ -201,6 +270,7 @@ let recover t (tr : Tcache.trans) (n : Vliw.Nexn.t) =
             if Profile.is_mmio_insn t.profile i.Region.addr then
               Adapt.add_interp_insn t.adapt tr.Tcache.entry i.Region.addr)
           tr.Tcache.region.Region.insns;
+        ladder_step t tr.Tcache.entry;
         Smc.invalidate t.smc tr ~keep_in_group:false
       end
   | Vliw.Nexn.Alias_violation _ ->
@@ -264,11 +334,14 @@ let deliver_irq t =
   | None -> ()
 
 (* Sampled interrupt-pending check used while a translation runs: also
-   advances device time so timers can fire mid-translation. *)
+   advances device time so timers can fire mid-translation.  Chaos can
+   spoof it: the translation exits (rolling back if mid-flight), the
+   dispatcher finds nothing to deliver — a pure spurious rollback. *)
 let irq_pending_poll t () =
   t.irq_sample <- t.irq_sample + 1;
   if t.irq_sample land 15 = 0 then tick_devices t;
   Cpu.irq_deliverable t.cpu
+  || (match t.chaos with Some c -> c.irq_spoof () | None -> false)
 
 let run_translation t (tr : Tcache.trans) =
   (* self-revalidation prologue *)
@@ -280,7 +353,20 @@ let run_translation t (tr : Tcache.trans) =
     end;
   if tr.Tcache.valid then begin
     tr.Tcache.execs <- tr.Tcache.execs + 1;
-    match Vliw.Exec.run ~irq_pending:(irq_pending_poll t) t.cpu.Cpu.exec tr.Tcache.code with
+    match
+      match t.chaos with
+      | Some c -> (
+          (* injected native fault: the state is still at the commit
+             point, so this is exactly a fault at the first molecule *)
+          match c.pre_exec tr with
+          | Some n -> Vliw.Exec.Faulted n
+          | None ->
+              Vliw.Exec.run ~irq_pending:(irq_pending_poll t) t.cpu.Cpu.exec
+                tr.Tcache.code)
+      | None ->
+          Vliw.Exec.run ~irq_pending:(irq_pending_poll t) t.cpu.Cpu.exec
+            tr.Tcache.code
+    with
     | Vliw.Exec.Exited i -> (
         let e = tr.Tcache.code.Vliw.Code.exits.(i) in
         match e.Vliw.Code.kind with
@@ -317,7 +403,10 @@ let run_translation t (tr : Tcache.trans) =
           Vliw.Exec.rollback t.cpu.Cpu.exec;
           t.stats.Stats.irq_rollbacks <- t.stats.Stats.irq_rollbacks + 1
         end;
-        deliver_irq t
+        (* Under a spoofed poll this exit can happen with IF clear; a
+           latched line must then stay latched for later — acking it
+           here would deliver an interrupt the guest has masked. *)
+        if Cpu.irq_deliverable t.cpu then deliver_irq t
     | Vliw.Exec.Runaway ->
         raise (Cpu.Panic "translation exceeded molecule budget")
   end
@@ -337,7 +426,11 @@ let sync_host_stats t =
   t.stats.Stats.tlb_hits <- mmu.Machine.Mmu.tlb_hits;
   t.stats.Stats.tlb_misses <- mmu.Machine.Mmu.tlb_misses;
   t.stats.Stats.ram_fast_reads <- mem.Machine.Mem.fast_reads;
-  t.stats.Stats.ram_fast_writes <- mem.Machine.Mem.fast_writes
+  t.stats.Stats.ram_fast_writes <- mem.Machine.Mem.fast_writes;
+  t.stats.Stats.tcache_flushes <- t.tcache.Tcache.flushes;
+  t.stats.Stats.tcache_evictions <- t.tcache.Tcache.evictions;
+  t.stats.Stats.tcache_evicted <- t.tcache.Tcache.evicted;
+  t.stats.Stats.adapt_evictions <- t.adapt.Adapt.evictions
 
 type stop = Halted | Insn_limit
 
@@ -368,17 +461,44 @@ let run ?(max_insns = max_int) t =
     else if Cpu.irq_deliverable t.cpu then deliver_irq t
     else begin
       let eip = Cpu.committed_eip t.cpu in
-      match Tcache.lookup t.tcache eip with
-      | Some tr -> run_translation t tr
-      | None ->
-          if
-            Adapt.hot t.adapt eip
-            || Profile.count t.profile eip >= t.cfg.Config.translate_threshold
-          then begin
-            let tr = translate t eip in
-            run_translation t tr
-          end
-          else ignore (Interp.step t.interp)
+      (* Forward-progress watchdog: if successive dispatch iterations
+         retire nothing at the same eip (a translation that always rolls
+         back — e.g. under a spoofed-interrupt storm — retires nothing),
+         force one interpreter step.  The interpreter commits per
+         instruction, so this provably breaks any rollback livelock: the
+         safety-net invariant. *)
+      let r = retired t in
+      if r <> t.last_retired || eip <> t.stall_eip then begin
+        t.last_retired <- r;
+        t.stall_eip <- eip;
+        t.stalls <- 0
+      end
+      else t.stalls <- t.stalls + 1;
+      if t.stalls >= t.cfg.Config.stall_limit then begin
+        t.stalls <- 0;
+        t.stats.Stats.progress_forces <- t.stats.Stats.progress_forces + 1;
+        ignore (Interp.step t.interp)
+      end
+      else if Adapt.quarantined t.adapt eip then begin
+        (* the bottom of the demotion ladder: interpreter-only *)
+        t.stats.Stats.quarantined_steps <-
+          t.stats.Stats.quarantined_steps + 1;
+        ignore (Interp.step t.interp)
+      end
+      else
+        match Tcache.lookup t.tcache eip with
+        | Some tr -> run_translation t tr
+        | None ->
+            if
+              Adapt.hot t.adapt eip
+              || Profile.count t.profile eip >= t.cfg.Config.translate_threshold
+            then
+              match translate t eip with
+              | Some tr -> run_translation t tr
+              | None ->
+                  (* containment fallback / quarantined mid-check *)
+                  ignore (Interp.step t.interp)
+            else ignore (Interp.step t.interp)
     end
   done;
   t.stats.Stats.x86_translated <- (perf t).Vliw.Perf.x86_committed;

@@ -15,7 +15,12 @@
       commit retires one iteration's worth of instructions.
     - REP string instructions lower to an internal loop that commits
       every iteration with EIP on the instruction itself — the same
-      restartable semantics the interpreter implements.
+      restartable semantics the interpreter implements.  A checkpoint
+      commit in front of the loop counts the instructions preceding
+      the string op (and later commits on the path count relative to
+      it), keeping the retired-instruction clock monotone with
+      architectural state even when an interrupt stops the translation
+      at a mid-string commit point.
     - Stylized-SMC instructions (policy) load their 32-bit immediate
       from the code bytes at run time instead of embedding it
       (paper §3.6.4). *)
@@ -25,10 +30,15 @@ module A = Vliw.Atom
 
 let fr = Vliw.Abi.eflags
 
+(* [retired] in a stub is the absolute count of x86 instructions the
+   path has completed (recorded as the exit's [x86_retired]); [base] is
+   how many of those an earlier checkpoint commit already counted (see
+   the REP lowering), so the stub's own commit counts [retired - base]. *)
 type stub =
-  | Sconst of { label : Ir.label; target : int; retired : int; kind : Vliw.Code.exit_kind }
-  | Sreg of { label : Ir.label; reg : int; retired : int }
-  | Sback of { label : Ir.label; retired : int }
+  | Sconst of { label : Ir.label; target : int; retired : int; base : int;
+                kind : Vliw.Code.exit_kind }
+  | Sreg of { label : Ir.label; reg : int; retired : int; base : int }
+  | Sback of { label : Ir.label; retired : int; base : int }
       (** loop back edge: commit one iteration, branch to the entry *)
 
 type ctx = {
@@ -36,6 +46,12 @@ type ctx = {
   region : Region.t;
   policy : Policy.t;
   mutable stubs : stub list;
+  mutable committed : int;
+      (** x86 instructions already counted by checkpoint commits on the
+          fall-through path — the retired clock must tick the moment
+          state commits, not when the path ends, or an interrupt taken
+          at a mid-region commit point loses the count for instructions
+          whose effects are already architectural *)
   entry_label : Ir.label;
 }
 
@@ -169,12 +185,13 @@ let push32 ctx ~idx (src : A.src) =
 
 let stub_const ctx ?(kind = Vliw.Code.Enext) ~target ~retired () =
   let label = Ir.fresh_label ctx.ir in
-  ctx.stubs <- Sconst { label; target; retired; kind } :: ctx.stubs;
+  ctx.stubs <-
+    Sconst { label; target; retired; base = ctx.committed; kind } :: ctx.stubs;
   label
 
 let stub_reg ctx ~reg ~retired =
   let label = Ir.fresh_label ctx.ir in
-  ctx.stubs <- Sreg { label; reg; retired } :: ctx.stubs;
+  ctx.stubs <- Sreg { label; reg; retired; base = ctx.committed } :: ctx.stubs;
   label
 
 (* ------------------------------------------------------------------ *)
@@ -429,7 +446,8 @@ let lower_insn ctx ~idx (info : Region.insn_info) =
            commits the completed iteration first; the fallthrough path
            is unaffected (its later exit retires the full path) *)
         let l = Ir.fresh_label ctx.ir in
-        ctx.stubs <- Sback { label = l; retired } :: ctx.stubs;
+        ctx.stubs <-
+          Sback { label = l; retired; base = ctx.committed } :: ctx.stubs;
         emit ctx ~idx (A.BrCond { cond = cc; fr; target = l });
         (match ctx.ir.Ir.items with
         | Ir.Op o :: _ -> o.Ir.barrier <- true
@@ -456,7 +474,7 @@ let lower_insn ctx ~idx (info : Region.insn_info) =
   | Insn.Jmp target ->
       if info.Region.loops then begin
         emit ctx ~idx (A.MovI { rd = Vliw.Abi.eip; imm = ctx.region.Region.entry });
-        emit ctx ~idx (A.Commit retired);
+        emit ctx ~idx (A.Commit (retired - ctx.committed));
         emit ctx ~idx (A.Br { target = ctx.entry_label });
         (match ctx.ir.Ir.items with
         | Ir.Op o :: _ -> o.Ir.barrier <- true
@@ -510,6 +528,19 @@ let lower_insn ctx ~idx (info : Region.insn_info) =
         (* committed EIP must stay on the REP instruction while the loop
            commits per iteration (restartable semantics) *)
         emit ctx ~idx (A.MovI { rd = Vliw.Abi.eip; imm = info.Region.addr });
+        (* Checkpoint the instructions completed before the string op.
+           The per-iteration commits below publish their architectural
+           effects, so deferring their count to the path-end commit
+           would let an interrupt taken at a mid-string commit point (a
+           consistent state — no rollback) leave the translation with
+           committed-but-uncounted instructions, permanently stalling
+           the retired-instruction clock that drives timers and
+           injected events.  Later commits on this path count relative
+           to [ctx.committed]. *)
+        if idx > ctx.committed then begin
+          emit ctx ~idx (A.Commit (idx - ctx.committed));
+          ctx.committed <- idx
+        end;
         Ir.emit_label ctx.ir l_loop;
         emit ctx ~idx (A.BrCmp { cmp = A.Ceq; a = Regs.ecx; b = A.I 0; target = l_done });
         (match op with
@@ -548,30 +579,30 @@ let emit_stubs ctx =
   List.iter
     (fun stub ->
       match stub with
-      | Sconst { label; target; retired; kind } ->
+      | Sconst { label; target; retired; base; kind } ->
           Ir.emit_label ctx.ir label;
           let exit_idx =
             Ir.add_exit ctx.ir ~target:(Vliw.Code.Const target) ~kind
               ~x86_retired:retired
           in
           emit ctx ~idx:(retired - 1) (A.MovI { rd = Vliw.Abi.eip; imm = target });
-          emit ctx ~idx:(retired - 1) (A.Commit retired);
+          emit ctx ~idx:(retired - 1) (A.Commit (retired - base));
           emit ctx ~idx:(retired - 1) (A.Exit exit_idx)
-      | Sreg { label; reg; retired } ->
+      | Sreg { label; reg; retired; base } ->
           Ir.emit_label ctx.ir label;
           let exit_idx =
             Ir.add_exit ctx.ir ~target:(Vliw.Code.FromReg Vliw.Abi.eip)
               ~kind:Vliw.Code.Enext ~x86_retired:retired
           in
           emit ctx ~idx:(retired - 1) (A.MovR { rd = Vliw.Abi.eip; rs = reg });
-          emit ctx ~idx:(retired - 1) (A.Commit retired);
+          emit ctx ~idx:(retired - 1) (A.Commit (retired - base));
           emit ctx ~idx:(retired - 1) (A.Exit exit_idx)
-      | Sback { label; retired } ->
+      | Sback { label; retired; base } ->
           Ir.emit_label ctx.ir label;
           (* committed EIP at an iteration boundary is the entry *)
           emit ctx ~idx:(retired - 1)
             (A.MovI { rd = Vliw.Abi.eip; imm = ctx.region.Region.entry });
-          emit ctx ~idx:(retired - 1) (A.Commit retired);
+          emit ctx ~idx:(retired - 1) (A.Commit (retired - base));
           emit ctx ~idx:(retired - 1) (A.Br { target = ctx.entry_label }))
     (List.rev ctx.stubs)
 
@@ -581,7 +612,8 @@ let emit_stubs ctx =
 let lower ~(policy : Policy.t) (region : Region.t) =
   let ir = Ir.create () in
   let ctx =
-    { ir; region; policy; stubs = []; entry_label = Ir.fresh_label ir }
+    { ir; region; policy; stubs = []; committed = 0;
+      entry_label = Ir.fresh_label ir }
   in
   Ir.emit_label ir ctx.entry_label;
   let n = Array.length region.Region.insns in

@@ -16,6 +16,10 @@ type t = {
   unroll : int;  (** unroll budget (region may revisit a pc this often) *)
   self_check : bool;  (** embed source-byte checking code *)
   self_reval : bool;  (** self-revalidating prologue *)
+  interp_only : bool;
+      (** quarantine: never translate this entry again — the bottom of
+          the demotion ladder, the paper's "interpreter as safety net"
+          made into an enforced terminal state *)
   interp_insns : ISet.t;
       (** instruction addresses executed via interpreter exits (known
           MMIO accessors, recurrent genuine faulters) *)
@@ -32,8 +36,20 @@ let default (cfg : Config.t) =
     unroll = cfg.Config.unroll_limit;
     self_check = cfg.Config.force_self_check;
     self_reval = false;
+    interp_only = false;
     interp_insns = ISet.empty;
     stylized_imms = ISet.empty;
+  }
+
+(** The hard-demotion policy: no speculation of any kind, tiny regions.
+    One rung above quarantine on the ladder. *)
+let conservative (cfg : Config.t) =
+  {
+    (default cfg) with
+    no_reorder = true;
+    no_alias = true;
+    max_insns = 8;
+    unroll = 1;
   }
 
 (** Least upper bound: strictly more conservative than both inputs. *)
@@ -45,6 +61,7 @@ let merge a b =
     unroll = min a.unroll b.unroll;
     self_check = a.self_check || b.self_check;
     self_reval = a.self_reval || b.self_reval;
+    interp_only = a.interp_only || b.interp_only;
     interp_insns = ISet.union a.interp_insns b.interp_insns;
     stylized_imms = ISet.union a.stylized_imms b.stylized_imms;
   }
@@ -58,6 +75,7 @@ let equal a b =
   && a.unroll = b.unroll
   && a.self_check = b.self_check
   && a.self_reval = b.self_reval
+  && a.interp_only = b.interp_only
   && ISet.equal a.interp_insns b.interp_insns
   && ISet.equal a.stylized_imms b.stylized_imms
 
@@ -65,11 +83,12 @@ let equal a b =
 let geq a b = equal (merge a b) a
 
 let pp fmt p =
-  Fmt.pf fmt "{%s%s%s%s max=%d interp=%d stylized=%d}"
+  Fmt.pf fmt "{%s%s%s%s%s max=%d interp=%d stylized=%d}"
     (if p.no_reorder then " no-reorder" else "")
     (if p.no_alias then " no-alias" else "")
     (if p.self_check then " self-check" else "")
     (if p.self_reval then " self-reval" else "")
+    (if p.interp_only then " quarantined" else "")
     p.max_insns
     (ISet.cardinal p.interp_insns)
     (ISet.cardinal p.stylized_imms)

@@ -98,6 +98,12 @@ let invalidate t (tr : Tcache.trans) ~keep_in_group =
   t.stats.Stats.invalidations <- t.stats.Stats.invalidations + 1;
   List.iter (fun ppn -> refresh_page t ~ppn) (pages_of tr)
 
+(** A translation was discarded by tcache eviction (capacity pressure,
+    not an SMC event): re-derive the protection its pages still need
+    from the translations that survived. *)
+let note_evicted t (tr : Tcache.trans) =
+  List.iter (fun ppn -> refresh_page t ~ppn) (pages_of tr)
+
 (* ------------------------------------------------------------------ *)
 (* Write-fault handling                                                *)
 (* ------------------------------------------------------------------ *)

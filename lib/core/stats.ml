@@ -30,6 +30,19 @@ type t = {
   mutable group_hits : int;  (** reactivated a grouped translation *)
   mutable tcache_flushes : int;
   mutable charged_molecules : int;  (** cost-model molecules (non-translation) *)
+  (* --- recovery hardening (containment, demotion ladder, eviction) --- *)
+  mutable containments : int;
+      (** exceptions that escaped translate/schedule/codegen and were
+          absorbed by the engine's containment boundary *)
+  mutable demotions : int;  (** entries dropped to the hard conservative policy *)
+  mutable quarantines : int;  (** entries demoted to interpreter-only *)
+  mutable quarantined_steps : int;
+      (** dispatches interpreted because the entry is quarantined *)
+  mutable progress_forces : int;
+      (** interpreter steps forced by the forward-progress watchdog *)
+  mutable tcache_evictions : int;  (** generational eviction rounds *)
+  mutable tcache_evicted : int;  (** translations discarded by eviction *)
+  mutable adapt_evictions : int;  (** policy-table entries evicted at capacity *)
   (* --- host fast-path counters (hits/misses of the host-side caches;
      purely observational — no cost-model impact) --- *)
   mutable tlb_hits : int;  (** software-TLB hits in {!Machine.Mmu} *)
@@ -65,6 +78,14 @@ let create () =
     group_hits = 0;
     tcache_flushes = 0;
     charged_molecules = 0;
+    containments = 0;
+    demotions = 0;
+    quarantines = 0;
+    quarantined_steps = 0;
+    progress_forces = 0;
+    tcache_evictions = 0;
+    tcache_evicted = 0;
+    adapt_evictions = 0;
     tlb_hits = 0;
     tlb_misses = 0;
     dcache_hits = 0;
@@ -98,6 +119,17 @@ let pp fmt t =
     t.irq_delivered t.irq_rollbacks t.chain_patches t.lookups t.fg_installs
     t.reval_hits t.reval_checks t.selfcheck_fails t.group_hits
     t.charged_molecules
+
+(** Recovery/robustness counters: rollback handling, the demotion
+    ladder, containment, and cache-pressure degradation. *)
+let pp_recovery fmt t =
+  Fmt.pf fmt
+    "faults[spec=%d genuine=%d] irq-rollbacks=%d containments=%d \
+     ladder[demote=%d quarantine=%d interp-steps=%d] watchdog=%d \
+     tcache[flush=%d evict-rounds=%d evicted=%d] adapt-evict=%d"
+    t.spec_faults t.genuine_faults t.irq_rollbacks t.containments
+    t.demotions t.quarantines t.quarantined_steps t.progress_forces
+    t.tcache_flushes t.tcache_evictions t.tcache_evicted t.adapt_evictions
 
 (** The host-side cache counters ({!Config.host_fast_paths} layers). *)
 let pp_host fmt t =

@@ -7,9 +7,13 @@
     Windows/9X BLT driver pattern) can reactivate an old translation by
     snapshot match instead of retranslating.
 
-    When the cache exceeds its capacity the whole cache is flushed —
-    the simplest of the garbage collection policies real systems use
-    (and what CMS does under pressure). *)
+    Under capacity pressure the cache degrades gracefully: records are
+    stamped with a generation that advances as insertions accumulate and
+    is refreshed on every dispatch hit, and the cache evicts the coldest
+    generations first — hot entries and their groups survive.  The
+    all-or-nothing full flush (what the seed did, and the simplest of
+    the garbage collection policies real systems use) is retained as the
+    last resort when every held record is current-generation. *)
 
 type trans = {
   id : int;
@@ -22,6 +26,7 @@ type trans = {
           translation time; present for self-checking / revalidating /
           grouped translations *)
   mutable valid : bool;
+  mutable gen : int;  (** generation stamp; refreshed on dispatch hits *)
   mutable execs : int;
   (* adaptive-retranslation counters (per fault class) *)
   mutable spec_faults : int;
@@ -38,16 +43,27 @@ type trans = {
 type t = {
   by_entry : (int, trans) Hashtbl.t;
   by_id : (int, trans) Hashtbl.t;
+      (** every record the cache still holds: valid translations plus
+          parked group members.  [count] mirrors its size. *)
   by_page : (int, trans list ref) Hashtbl.t;
   groups : (int, trans list ref) Hashtbl.t;
   mutable next_id : int;
   capacity : int;
-  mutable count : int;
+  mutable count : int;  (** held records: valid + parked-in-group *)
+  mutable hwm : int;  (** high-water mark of [count] over the run *)
+  mutable cur_gen : int;
+  mutable inserts : int;  (** insertions since the last generation turn *)
+  gen_step : int;  (** insertions per generation turn *)
   mutable flushes : int;
+  mutable evictions : int;  (** generational eviction rounds *)
+  mutable evicted : int;  (** records discarded by eviction *)
   mutable on_flush : unit -> unit;
       (** fired on every full flush; the engine hooks it so dependent
           host caches (the interpreter's decoded-instruction cache)
           die with the translations *)
+  mutable on_evict : trans -> unit;
+      (** fired once per record discarded by generational eviction; the
+          engine hooks it to release the record's SMC page protection *)
 }
 
 let create ~capacity =
@@ -59,8 +75,15 @@ let create ~capacity =
     next_id = 0;
     capacity;
     count = 0;
+    hwm = 0;
+    cur_gen = 0;
+    inserts = 0;
+    gen_step = max 1 (capacity / 8);
     flushes = 0;
+    evictions = 0;
+    evicted = 0;
     on_flush = (fun () -> ());
+    on_evict = (fun _ -> ());
   }
 
 let lookup t entry =
@@ -68,9 +91,11 @@ let lookup t entry =
      (the interpreter-warmup phase) *)
   if Hashtbl.length t.by_entry = 0 then None
   else
-  match Hashtbl.find_opt t.by_entry entry with
-  | Some tr when tr.valid -> Some tr
-  | _ -> None
+    match Hashtbl.find_opt t.by_entry entry with
+    | Some tr when tr.valid ->
+        tr.gen <- t.cur_gen;
+        Some tr
+    | _ -> None
 
 let by_id t id =
   match Hashtbl.find_opt t.by_id id with
@@ -85,6 +110,8 @@ let pages_of_ranges ranges =
       List.init (last - first + 1) (fun i -> first + i))
     ranges
   |> List.sort_uniq compare
+
+let pages_of tr = pages_of_ranges tr.region.Region.src_ranges
 
 (** Translations whose source bytes live on physical page [ppn].
     (Source ranges are linear addresses; the workloads map code
@@ -104,41 +131,88 @@ let flush t =
   t.flushes <- t.flushes + 1;
   t.on_flush ()
 
-(** Insert a new translation; returns it.  Replaces any current
-    translation for the same entry (the old one stays in the group). *)
-let insert ?(unprotected = false) t ~entry ~code ~region ~policy ~snapshot =
-  if t.count >= t.capacity then flush t;
-  let tr =
-    {
-      id = t.next_id;
-      entry;
-      code;
-      region;
-      policy;
-      snapshot;
-      valid = true;
-      execs = 0;
-      spec_faults = 0;
-      genuine_faults = 0;
-      smc_false = 0;
-      reval_armed = false;
-      unprotected;
-    }
-  in
-  t.next_id <- t.next_id + 1;
-  t.count <- t.count + 1;
-  Hashtbl.replace t.by_entry entry tr;
-  Hashtbl.replace t.by_id tr.id tr;
+(* Drop a record from every index.  [tr.valid] may be either state
+   (eviction takes valid and parked records alike). *)
+let drop t tr =
+  tr.valid <- false;
+  (match Hashtbl.find_opt t.by_entry tr.entry with
+  | Some cur when cur.id = tr.id -> Hashtbl.remove t.by_entry tr.entry
+  | _ -> ());
+  Hashtbl.remove t.by_id tr.id;
   List.iter
     (fun ppn ->
       match Hashtbl.find_opt t.by_page ppn with
-      | Some l -> l := tr :: !l
-      | None -> Hashtbl.add t.by_page ppn (ref [ tr ]))
-    (pages_of_ranges region.Region.src_ranges);
-  tr
+      | Some l ->
+          l := List.filter (fun x -> x.id <> tr.id) !l;
+          if !l = [] then Hashtbl.remove t.by_page ppn
+      | None -> ())
+    (pages_of tr);
+  (match Hashtbl.find_opt t.groups tr.entry with
+  | Some l ->
+      l := List.filter (fun x -> x.id <> tr.id) !l;
+      if !l = [] then Hashtbl.remove t.groups tr.entry
+  | None -> ());
+  t.count <- t.count - 1
+
+let oldest_generation t =
+  Hashtbl.fold
+    (fun _ tr acc ->
+      match acc with
+      | None -> Some tr.gen
+      | Some g -> Some (min g tr.gen))
+    t.by_id None
+
+(** Evict every record stamped with generation [g] (current entries and
+    parked group members alike).  Returns the number discarded; fires
+    [on_evict] for each so the engine can release page protection. *)
+let evict_generation t g =
+  let victims =
+    Hashtbl.fold (fun _ tr acc -> if tr.gen = g then tr :: acc else acc)
+      t.by_id []
+  in
+  List.iter
+    (fun tr ->
+      drop t tr;
+      t.on_evict tr)
+    victims;
+  let n = List.length victims in
+  if n > 0 then begin
+    t.evictions <- t.evictions + 1;
+    t.evicted <- t.evicted + n
+  end;
+  n
+
+(** One graceful-degradation step: evict the coldest generation still
+    held.  Also the chaos layer's "surprise eviction" entry point. *)
+let evict_coldest t =
+  match oldest_generation t with
+  | None -> 0
+  | Some g -> evict_generation t g
+
+(* Make room for an insertion: evict coldest generations down to a
+   low-water target; full flush only when everything left is
+   current-generation (nothing is colder than the work in flight). *)
+let ensure_room t =
+  if t.count >= t.capacity then begin
+    (* the low-water target must sit strictly below capacity, or a
+       degenerate capacity (1) would never evict and the cache would
+       grow without bound *)
+    let target = min (t.capacity - 1) (max 1 (t.capacity * 3 / 4)) in
+    let rec loop () =
+      if t.count > target then
+        match oldest_generation t with
+        | Some g when g < t.cur_gen ->
+            ignore (evict_generation t g);
+            loop ()
+        | _ -> if t.count >= t.capacity then flush t
+    in
+    loop ()
+  end
 
 (** Invalidate a translation.  With [keep_in_group] it is parked in the
-    entry's translation group for possible reactivation. *)
+    entry's translation group for possible reactivation (and keeps
+    counting toward capacity until evicted); otherwise the record is
+    dropped entirely. *)
 let invalidate t tr ~keep_in_group =
   if tr.valid then begin
     tr.valid <- false;
@@ -150,7 +224,52 @@ let invalidate t tr ~keep_in_group =
       | Some l -> l := tr :: !l
       | None -> Hashtbl.add t.groups tr.entry (ref [ tr ])
     end
+    else drop t tr
   end
+
+(** Insert a new translation; returns it.  Replaces any current
+    translation for the same entry (the old one is parked in the
+    group). *)
+let insert ?(unprotected = false) t ~entry ~code ~region ~policy ~snapshot =
+  ensure_room t;
+  (match Hashtbl.find_opt t.by_entry entry with
+  | Some cur when cur.valid -> invalidate t cur ~keep_in_group:true
+  | _ -> ());
+  let tr =
+    {
+      id = t.next_id;
+      entry;
+      code;
+      region;
+      policy;
+      snapshot;
+      valid = true;
+      gen = t.cur_gen;
+      execs = 0;
+      spec_faults = 0;
+      genuine_faults = 0;
+      smc_false = 0;
+      reval_armed = false;
+      unprotected;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.count <- t.count + 1;
+  if t.count > t.hwm then t.hwm <- t.count;
+  t.inserts <- t.inserts + 1;
+  if t.inserts >= t.gen_step then begin
+    t.inserts <- 0;
+    t.cur_gen <- t.cur_gen + 1
+  end;
+  Hashtbl.replace t.by_entry entry tr;
+  Hashtbl.replace t.by_id tr.id tr;
+  List.iter
+    (fun ppn ->
+      match Hashtbl.find_opt t.by_page ppn with
+      | Some l -> l := tr :: !l
+      | None -> Hashtbl.add t.by_page ppn (ref [ tr ]))
+    (pages_of_ranges region.Region.src_ranges);
+  tr
 
 (** Search the entry's translation group for a parked translation whose
     snapshot matches the current source bytes; reactivate on match. *)
@@ -165,7 +284,11 @@ let group_match t ~entry ~current_bytes =
       with
       | Some tr ->
           l := List.filter (fun x -> x.id <> tr.id) !l;
+          (match Hashtbl.find_opt t.by_entry entry with
+          | Some cur when cur.valid -> invalidate t cur ~keep_in_group:true
+          | _ -> ());
           tr.valid <- true;
+          tr.gen <- t.cur_gen;
           Hashtbl.replace t.by_entry entry tr;
           Hashtbl.replace t.by_id tr.id tr;
           Some tr

@@ -24,9 +24,12 @@ type result = {
 
 (** Run [cases] cases from [seed].  Divergences are minimized and, when
     [out_dir] is given, written there as corpus files.  [progress] is
-    called after each case with (index, verdict). *)
+    called after each case with (index, verdict).  With [chaos] each
+    case additionally carries a derived chaos seed and runs the chaos
+    oracle (clean interpreter vs translator-under-injection) instead of
+    the clean three-way differential. *)
 let run ?(progress = fun _ _ -> ()) ?out_dir ?(max_insns = Oracle.default_max_insns)
-    ~seed ~cases () =
+    ?(chaos = false) ~seed ~cases () =
   let root = Srng.create seed in
   let coverage = Coverage.create () in
   let passed = ref 0 in
@@ -36,13 +39,16 @@ let run ?(progress = fun _ _ -> ()) ?out_dir ?(max_insns = Oracle.default_max_in
     let rng = Srng.split root in
     let case = Gen.generate rng ~seed ~index in
     Gen.note_coverage coverage case;
-    let rendered = Oracle.render ~max_insns case in
+    let chaos_seed = if chaos then Some (Srng.int32 rng) else None in
+    let rendered = Oracle.render ~max_insns ?chaos:chaos_seed case in
     let verdict = Oracle.check rendered in
     (match verdict with
     | Oracle.Pass -> incr passed
     | Oracle.Hang -> incr hangs
     | Oracle.Divergence reason ->
-        let minimized = Shrink.minimize_diverging ~max_insns case in
+        let minimized =
+          Shrink.minimize_diverging ~max_insns ?chaos:chaos_seed case
+        in
         let saved =
           match out_dir with
           | None -> None
@@ -51,7 +57,7 @@ let run ?(progress = fun _ _ -> ()) ?out_dir ?(max_insns = Oracle.default_max_in
                 Filename.concat dir (Fmt.str "seed%d-case%d.case" seed index)
               in
               Corpus.save path
-                (Oracle.render ~max_insns minimized)
+                (Oracle.render ~max_insns ?chaos:chaos_seed minimized)
                 ~seed
                 ~comment:
                   [

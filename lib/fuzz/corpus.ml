@@ -19,6 +19,10 @@
     event prot 0x10000 0
     v}
 
+    An optional [chaos <seed>] directive marks a chaos-mode case:
+    replay then runs the chaos oracle (translator under the seeded
+    host-side injection schedule) instead of the clean differential.
+
     [image] lines concatenate in order.  Replay loads the bytes at
     [base], boots at [entry], installs the events and runs the full
     differential oracle. *)
@@ -50,6 +54,9 @@ let write_string (r : Oracle.rendered) ~seed ~comment =
   Buffer.add_string b (Fmt.str "base 0x%x\n" r.Oracle.listing.X86.Asm.base);
   Buffer.add_string b (Fmt.str "entry 0x%x\n" r.Oracle.entry);
   Buffer.add_string b (Fmt.str "max-insns %d\n" r.Oracle.max_insns);
+  (match r.Oracle.chaos with
+  | Some s -> Buffer.add_string b (Fmt.str "chaos %d\n" s)
+  | None -> ());
   let hex = to_hex (Bytes.to_string r.Oracle.listing.X86.Asm.image) in
   let n = String.length hex in
   let stride = 128 in
@@ -108,6 +115,7 @@ let load path : Oracle.rendered * int =
   let base = ref 0 in
   let entry = ref 0 in
   let max_insns = ref Oracle.default_max_insns in
+  let chaos = ref None in
   let image = Buffer.create 4096 in
   let events = ref [] in
   List.iteri
@@ -120,6 +128,7 @@ let load path : Oracle.rendered * int =
         | [ "base"; v ] -> base := int_of_string v
         | [ "entry"; v ] -> entry := int_of_string v
         | [ "max-insns"; v ] -> max_insns := int_of_string v
+        | [ "chaos"; v ] -> chaos := Some (int_of_string v)
         | [ "image"; hex ] -> Buffer.add_string image (of_hex hex)
         | [ "event"; "irq"; at; ln ] ->
             events :=
@@ -146,7 +155,7 @@ let load path : Oracle.rendered * int =
     }
   in
   ( { Oracle.listing; entry = !entry; events = List.rev !events;
-      max_insns = !max_insns },
+      max_insns = !max_insns; chaos = !chaos },
     !seed )
 
 (** Replay one corpus file through the differential oracle. *)

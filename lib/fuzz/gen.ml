@@ -2,8 +2,10 @@
 
     Emits structured, *terminating-by-construction* guest programs as
     {!X86.Asm} item lists: a fixed skeleton (IDT with every vector
-    installed, register init, [sti] when interrupts are in play, a
-    [cli; hlt] epilogue) around randomized blocks of instruction slots.
+    installed, register init, [sti] when interrupts are in play, and a
+    parking epilogue — an interruptible halt loop when IRQs are in
+    play, [cli; hlt] otherwise) around randomized blocks of
+    instruction slots.
 
     Robustness rules that make every generated program a valid oracle
     subject, whatever the dice say:
@@ -642,7 +644,23 @@ let render (p : prog) : item list =
              | None -> []))
          p.blocks)
   in
-  let epilogue = [ label "epilogue"; cli; hlt ] in
+  (* The epilogue must not drop a latched-but-undelivered IRQ line.  An
+     async event raises its line at the first *boundary* where the
+     retired count has passed [at], and translator boundaries lag
+     interpreter boundaries (the §3.3 slack) — chained translations can
+     carry execution from before [at] to past a [cli] without touching
+     the dispatcher.  A [cli; hlt] ending therefore loses exactly the
+     raises landing in that lag window, making the per-line delivery
+     count depend on translation shape — the one thing the
+     counting-handler design cannot absorb (found by chaos-mode
+     fuzzing, which scrambles translation shapes).  With interrupts in
+     play the program instead parks in an interruptible halt loop:
+     every raised line eventually wakes it and gets counted, in every
+     configuration, and the run ends once nothing more can arrive. *)
+  let epilogue =
+    [ label "epilogue" ]
+    @ (if p.has_irq then [ hlt; jmp "epilogue" ] else [ cli; hlt ])
+  in
   prologue @ handlers @ funcs @ blocks @ epilogue
 
 let assemble p = X86.Asm.assemble ~base:code_base (render p)

@@ -33,16 +33,22 @@ type rendered = {
   entry : int;
   events : Inject.event list;
   max_insns : int;
+  chaos : int option;
+      (** chaos-mode seed: run the translator oracle under a seeded
+          host-side injection schedule ({!Cms_robust.Chaos}) with
+          scrambled capacities, and require architectural equality
+          with the clean interpreter anyway *)
 }
 
 let default_max_insns = 200_000
 
-let render ?(max_insns = default_max_insns) (case : Gen.case) =
+let render ?(max_insns = default_max_insns) ?chaos (case : Gen.case) =
   {
     listing = Gen.assemble case.Gen.prog;
     entry = Gen.code_base;
     events = case.Gen.events;
     max_insns;
+    chaos;
   }
 
 (* 2 MiB backs exactly the identity-mapped window the generator uses;
@@ -151,27 +157,43 @@ type outcome = {
   stop : stop_kind;
   arch : arch;
   strict : Digest.t;
-  ndiags : int;  (** verifier diagnostics collected during the run *)
+  ndiags : int;
+      (** rejecting verifier diagnostics collected during the run;
+          advisory rules (recoverable runtime events like
+          [sbuf-overflow], which fire routinely under chaos-scrambled
+          capacities) are excluded, matching the rejecting verifier's
+          own contract *)
 }
 
-let run_config cfg (r : rendered) : outcome =
+let run_config ?chaos cfg (r : rendered) : outcome =
   let result, diags =
     Cms_analysis.Pipeline.with_collect (fun () ->
         let c = Cms.create ~cfg ~ram_size () in
         Cms.load c r.listing;
         Cms.boot c ~entry:r.entry;
         Inject.install c r.events;
+        (match chaos with
+        | Some ch -> Cms_robust.Chaos.install ch c
+        | None -> ());
         match Cms.run ~max_insns:r.max_insns c with
         | Cms.Engine.Halted -> (Halted, c)
         | Cms.Engine.Insn_limit -> (Limit, c)
-        | exception Cms.Cpu.Panic msg -> (Crash msg, c))
+        | exception Cms.Cpu.Panic msg -> (Crash msg, c)
+        | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+        | exception e ->
+            (* "zero unhandled exceptions" is part of the chaos-mode
+               contract: anything escaping the engine is a finding *)
+            (Crash (Printexc.to_string e), c))
   in
   let stop, c = result in
+  let rejecting =
+    List.filter (fun d -> not (Cms_analysis.Diag.is_advisory d)) diags
+  in
   {
     stop;
     arch = arch_digest c;
     strict = Digest.string (Marshal.to_string (strict_digest c) []);
-    ndiags = List.length diags;
+    ndiags = List.length rejecting;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -188,8 +210,8 @@ let stop_name = function
   | Limit -> "insn-limit"
   | Crash m -> "crash:" ^ m
 
-(** Run a rendered case under all three oracles and compare. *)
-let check (r : rendered) : verdict =
+(* The clean three-oracle differential (no injection). *)
+let check_clean (r : rendered) : verdict =
   let a = run_config cfg_interp r in
   let b = run_config cfg_translate r in
   let c = run_config cfg_nofast r in
@@ -216,6 +238,41 @@ let check (r : rendered) : verdict =
   else if b.strict <> c.strict then
     Divergence "strict digest: fast paths on vs off"
   else Pass
+
+(* The chaos differential: clean interpreter vs the translator under a
+   seeded injection schedule and scrambled capacities.  The strict
+   digest is meaningless here (injection perturbs every counter), but
+   the *architectural* state must still match bit-for-bit — the paper's
+   recovery thesis under host-side attack. *)
+let check_chaos (r : rendered) ~seed : verdict =
+  let a = run_config cfg_interp r in
+  let rng = Srng.create seed in
+  let cfg = Cms_robust.Chaos.scramble_cfg (Srng.split rng) cfg_translate in
+  let ch = Cms_robust.Chaos.create (Srng.split rng) in
+  let b = run_config ~chaos:ch cfg r in
+  let crashed o = match o.stop with Crash _ -> true | _ -> false in
+  if crashed a || crashed b then
+    Divergence
+      (Fmt.str "crash under chaos (interp=%s chaos=%s)" (stop_name a.stop)
+         (stop_name b.stop))
+  else if a.stop = Limit && b.stop = Limit then Hang
+  else if a.stop <> b.stop then
+    Divergence
+      (Fmt.str "stop mismatch under chaos (interp=%s chaos=%s)"
+         (stop_name a.stop) (stop_name b.stop))
+  else if b.ndiags > 0 then
+    Divergence (Fmt.str "verifier diagnostics under chaos (%d)" b.ndiags)
+  else if a.arch <> b.arch then
+    Divergence ("interpreter vs chaos translator: " ^ arch_diff a.arch b.arch)
+  else Pass
+
+(** Run a rendered case through its oracle: the clean three-way
+    differential, or the chaos differential when the case carries a
+    chaos seed. *)
+let check (r : rendered) : verdict =
+  match r.chaos with
+  | None -> check_clean r
+  | Some seed -> check_chaos r ~seed
 
 let diverges (r : rendered) =
   match check r with Divergence _ -> true | Pass | Hang -> false

@@ -101,6 +101,10 @@ let minimize ~check (case : Gen.case) =
   done;
   !current
 
-(** Shrink against the full differential oracle. *)
-let minimize_diverging ?max_insns case =
-  minimize ~check:(fun c -> Oracle.diverges (Oracle.render ?max_insns c)) case
+(** Shrink against the full differential oracle ([chaos] carries the
+    case's chaos seed, so chaos-found divergences shrink against the
+    same injection schedule that found them). *)
+let minimize_diverging ?max_insns ?chaos case =
+  minimize
+    ~check:(fun c -> Oracle.diverges (Oracle.render ?max_insns ?chaos c))
+    case

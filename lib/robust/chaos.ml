@@ -1,0 +1,160 @@
+(** Chaos mode: deterministic host-side fault injection.
+
+    The guest can exercise the recovery machinery only from the inside
+    (faults, SMC, interrupts); this layer attacks it from the *host*
+    side, injecting the adversities a real Crusoe would meet as
+    translator bugs, verifier rejections and cache pressure — all
+    seeded from a {!Srng} stream, so a campaign replays bit-identically
+    from its seed.
+
+    Injected adversities:
+    - translator/verifier death: {!Injected} raised from inside the
+      engine's containment boundary at a translation attempt;
+    - spurious rollbacks: a native fault ({!Vliw.Nexn.Alias_violation}
+      or {!Vliw.Nexn.Sbuf_overflow}) forced before a translation runs,
+      and spoofed interrupt-pending signals that make a running
+      translation roll back with nothing to deliver;
+    - cache-pressure storms: surprise full tcache flushes and
+      coldest-generation evictions at dispatch boundaries;
+    - artificially tiny capacities via {!scramble_cfg}.
+
+    Every one of these must be architecturally invisible: the hardened
+    engine absorbs them with containment, the demotion ladder and the
+    forward-progress watchdog, and the run must end bit-identical to a
+    clean interpreter run (the [chaos] oracle in [lib/fuzz] enforces
+    exactly that for every fuzz case). *)
+
+(** The simulated translator/verifier death.  Raised only from
+    [on_translate], i.e. inside the engine's containment boundary; if
+    it ever escapes to a caller, containment is broken. *)
+exception Injected of string
+
+(** Injection rates.  The integer rates are per-mille probabilities
+    drawn per opportunity. *)
+type profile = {
+  translate_die : int;  (** a translation attempt raises {!Injected} *)
+  pre_fault : int;  (** a dispatch forces a native fault pre-execution *)
+  alias_share : int;
+      (** of injected pre-faults, percent that are alias-check false
+          positives (the rest are store-buffer overflows) *)
+  irq_spoof : int;  (** an in-translation poll reports a phantom IRQ *)
+  flush_storm : int;  (** a dispatch boundary full-flushes the tcache *)
+  evict_storm : int;  (** a boundary evicts the coldest generation *)
+  tiny_caches : bool;  (** scramble capacities with {!scramble_cfg} *)
+}
+
+let default_profile =
+  {
+    translate_die = 30;
+    pre_fault = 30;
+    alias_share = 50;
+    irq_spoof = 15;
+    flush_storm = 3;
+    evict_storm = 12;
+    tiny_caches = true;
+  }
+
+(** A profile that only starves capacities — no event injection; used
+    to isolate graceful-degradation bugs from recovery bugs. *)
+let pressure_only =
+  {
+    translate_die = 0;
+    pre_fault = 0;
+    alias_share = 0;
+    irq_spoof = 0;
+    flush_storm = 5;
+    evict_storm = 40;
+    tiny_caches = true;
+  }
+
+type t = {
+  rng : Srng.t;
+  profile : profile;
+  (* what actually got injected (for campaign reporting and for tests
+     asserting the schedule fired at all) *)
+  mutable translator_kills : int;
+  mutable injected_faults : int;
+  mutable irq_spoofs : int;
+  mutable flushes : int;
+  mutable evicted : int;
+}
+
+let create ?(profile = default_profile) rng =
+  {
+    rng;
+    profile;
+    translator_kills = 0;
+    injected_faults = 0;
+    irq_spoofs = 0;
+    flushes = 0;
+    evicted = 0;
+  }
+
+let injections t =
+  t.translator_kills + t.injected_faults + t.irq_spoofs + t.flushes
+  + t.evicted
+
+(** Shrink the run's capacities so pressure paths fire constantly:
+    tcache small enough that real workloads evict, policy table small
+    enough that it churns, store buffer small enough that conservative
+    translations still fit (the interpreter bypasses it, so this only
+    starves translations).  Architecturally invisible by construction —
+    capacities are host resources. *)
+let scramble_cfg rng (cfg : Cms.Config.t) =
+  {
+    cfg with
+    Cms.Config.tcache_capacity = Srng.range rng 3 24;
+    sbuf_capacity = Srng.range rng 8 24;
+    adapt_capacity = Srng.range rng 4 64;
+  }
+
+let hit t rate = rate > 0 && Srng.chance t.rng rate 1000
+
+(** Arm an engine.  Composes with any already-installed
+    [on_boundary] hook (the fuzzer's event injector), running the
+    previous hook first. *)
+let install t (e : Cms.Engine.t) =
+  let prev = e.Cms.Engine.on_boundary in
+  e.Cms.Engine.on_boundary <-
+    Some
+      (fun retired ->
+        (match prev with Some f -> f retired | None -> ());
+        if hit t t.profile.flush_storm then begin
+          t.flushes <- t.flushes + 1;
+          Cms.Tcache.flush e.Cms.Engine.tcache
+        end;
+        if hit t t.profile.evict_storm then
+          t.evicted <-
+            t.evicted + Cms.Tcache.evict_coldest e.Cms.Engine.tcache);
+  e.Cms.Engine.chaos <-
+    Some
+      {
+        Cms.Engine.on_translate =
+          (fun entry ->
+            if hit t t.profile.translate_die then begin
+              t.translator_kills <- t.translator_kills + 1;
+              raise (Injected (Fmt.str "translator death at %#x" entry))
+            end);
+        pre_exec =
+          (fun _tr ->
+            if hit t t.profile.pre_fault then begin
+              t.injected_faults <- t.injected_faults + 1;
+              Some
+                (if Srng.chance t.rng t.profile.alias_share 100 then
+                   Vliw.Nexn.Alias_violation 0
+                 else Vliw.Nexn.Sbuf_overflow)
+            end
+            else None);
+        irq_spoof =
+          (fun () ->
+            if hit t t.profile.irq_spoof then begin
+              t.irq_spoofs <- t.irq_spoofs + 1;
+              true
+            end
+            else false);
+      }
+
+let pp fmt t =
+  Fmt.pf fmt
+    "chaos[kills=%d faults=%d spoofs=%d flushes=%d evicted=%d]"
+    t.translator_kills t.injected_faults t.irq_spoofs t.flushes t.evicted

@@ -58,6 +58,7 @@ let gen_policy =
   let open QCheck.Gen in
   let* no_reorder = bool and* no_alias = bool in
   let* self_check = bool and* self_reval = bool in
+  let* interp_only = bool in
   let* max_insns = oneofl [ 4; 10; 50; 200 ] in
   let* unroll = oneofl [ 1; 2; 4 ] in
   let* interp = list_size (int_bound 3) (int_range 0x1000 0x1010) in
@@ -68,6 +69,7 @@ let gen_policy =
       no_alias;
       self_check;
       self_reval;
+      interp_only;
       max_insns;
       unroll;
       interp_insns = Cms.Policy.ISet.of_list interp;
@@ -199,10 +201,14 @@ let test_tcache_flush_on_capacity () =
       unroll_limit = 1 }
   in
   let t, _ = Cms.run_listing ~cfg ~max_insns:1_000_000 prog ~entry:0x10000 in
-  (* correctness survives cache flushes *)
+  (* correctness survives cache pressure (generational eviction, with
+     the full flush as last resort) *)
   check ci "ebx counts blocks" (60 * 24) (Cms.gpr t X86.Regs.ebx);
-  check cb "cache flushed at least once" true
-    (t.Cms.Engine.tcache.Cms.Tcache.flushes > 0)
+  let tc = t.Cms.Engine.tcache in
+  check cb "cache shed translations at least once" true
+    (tc.Cms.Tcache.flushes > 0 || tc.Cms.Tcache.evictions > 0);
+  check cb "count stays within capacity" true
+    (tc.Cms.Tcache.count <= tc.Cms.Tcache.capacity)
 
 (* ------------------------------------------------------------------ *)
 (* Interpreter corner cases                                            *)
