@@ -234,6 +234,58 @@ let run_hotpath ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint/restore cost                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Snapshot size and save/restore wall-clock per workload class.  Each
+   workload runs to completion, then the final machine state is
+   captured and restored (best of 3 each).  The snapshot is the
+   *guest* state only — host caches are rebuilt cold — so its size
+   tracks the live working set, not the translation cache. *)
+let run_persist () =
+  let best3 f =
+    let best = ref infinity and last = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      last := Some v
+    done;
+    (!best, Option.get !last)
+  in
+  pr "=== Checkpoint/restore cost (final-state snapshots) ===@.";
+  pr "  %-28s %10s %9s %9s %9s@." "workload" "bytes" "save ms" "rest ms"
+    "run s";
+  List.iter
+    (fun (cls, ws) ->
+      let sizes = ref [] and saves = ref [] and rests = ref [] in
+      List.iter
+        (fun (w : Workloads.Suite.t) ->
+          let c = Workloads.Suite.prepare w in
+          let t0 = Unix.gettimeofday () in
+          ignore (Cms.run ~max_insns:w.Workloads.Suite.max_insns c);
+          let trun = Unix.gettimeofday () -. t0 in
+          let tsave, img = best3 (fun () -> Cms_persist.Snapshot.capture c) in
+          let trest, _ = best3 (fun () -> Cms_persist.Snapshot.restore img) in
+          sizes := float_of_int (String.length img) :: !sizes;
+          saves := tsave :: !saves;
+          rests := trest :: !rests;
+          pr "  %-28s %10d %9.2f %9.2f %9.2f@." w.Workloads.Suite.name
+            (String.length img) (tsave *. 1e3) (trest *. 1e3) trun)
+        ws;
+      let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+      pr "  %-28s %10.0f %9.2f %9.2f@."
+        (Fmt.str "[%s mean]" cls)
+        (mean !sizes)
+        (mean !saves *. 1e3)
+        (mean !rests *. 1e3))
+    [
+      ("boots", Workloads.Progs_boot.all);
+      ("apps", Workloads.Progs_spec.all @ Workloads.Progs_apps.all);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Fast-path smoke check (CI: dune build @bench-smoke)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,7 +332,8 @@ let all () =
   run_flow ();
   run_ablations ();
   run_micro ();
-  run_hotpath ~json:false ()
+  run_hotpath ~json:false ();
+  run_persist ()
 
 let () =
   let json =
@@ -307,11 +360,12 @@ let () =
       run_micro ();
       run_hotpath ~json ()
   | "hotpath" -> run_hotpath ~json ()
+  | "persist" -> run_persist ()
   | "smoke" -> run_smoke ()
   | "all" -> all ()
   | other ->
       Fmt.epr
         "unknown experiment %S; one of: fig2 fig3 table1 selfcheck selfreval \
-         groups flow ablations micro hotpath smoke all@."
+         groups flow ablations micro hotpath persist smoke all@."
         other;
       exit 1

@@ -42,7 +42,7 @@ let replay_cmd files json =
       results;
   if failed <> [] then exit 1
 
-let fuzz_cmd seed cases max_insns chaos out_dir json quiet =
+let fuzz_cmd seed cases max_insns chaos out_dir forensics json quiet =
   let progress i v =
     if (not json) && not quiet then begin
       (match v with
@@ -56,7 +56,8 @@ let fuzz_cmd seed cases max_insns chaos out_dir json quiet =
   | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
   | _ -> ());
   let r =
-    Cms_fuzz.Campaign.run ~progress ?out_dir ~max_insns ~chaos ~seed ~cases ()
+    Cms_fuzz.Campaign.run ~progress ?out_dir ?forensics ~max_insns ~chaos ~seed
+      ~cases ()
   in
   let cov = r.Cms_fuzz.Campaign.coverage in
   let pct = Cms_fuzz.Coverage.percent cov in
@@ -113,9 +114,9 @@ let fuzz_cmd seed cases max_insns chaos out_dir json quiet =
   end;
   if ndiv > 0 then exit 1
 
-let main seed cases max_insns chaos replay out_dir json quiet =
+let main seed cases max_insns chaos replay out_dir forensics json quiet =
   match replay with
-  | [] -> fuzz_cmd seed cases max_insns chaos out_dir json quiet
+  | [] -> fuzz_cmd seed cases max_insns chaos out_dir forensics json quiet
   | files -> replay_cmd files json
 
 open Cmdliner
@@ -164,6 +165,16 @@ let out_dir =
         ~doc:"Write minimized diverging cases to $(docv) as corpus \
               files.")
 
+let forensics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "forensics" ] ~docv:"DIR"
+        ~doc:"For every divergence, dump a replayable forensics bundle \
+              into $(docv): the recorded event journal, last-checkpoint \
+              and final-state snapshots, the minimized case text and a \
+              counter report.")
+
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON report on stdout.")
 
@@ -175,7 +186,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cmsfuzz" ~doc)
     Term.(
-      const main $ seed $ cases $ max_insns $ chaos $ replay $ out_dir $ json
-      $ quiet)
+      const main $ seed $ cases $ max_insns $ chaos $ replay $ out_dir
+      $ forensics $ json $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -13,9 +13,100 @@ let all_workloads () =
 let find_workload name =
   List.find_opt (fun w -> w.Suite.name = name) (all_workloads ())
 
+module Persist = Cms_persist
+
+(* A suite run is deterministic given its configuration, so a workload
+   journal carries no events — just the config and the final digests.
+   Replay reruns under the journal's config and compares. *)
+let digests_of (t : Cms.t) =
+  ( Persist.Digests.arch_hex (Persist.Digests.arch t),
+    Persist.Digests.strict_hex (Persist.Digests.strict t) )
+
+let report ~stats ~verbose w t =
+  let s = Cms.stats t in
+  let p = Cms.perf t in
+  Fmt.pr "workload: %s@." w.Suite.name;
+  Fmt.pr "eax (checksum): %#x@." (Cms.gpr t X86.Regs.eax);
+  Fmt.pr "x86 retired: %d (%d interp / %d translated)@."
+    (Cms.retired t) s.Cms.Stats.x86_interp s.Cms.Stats.x86_translated;
+  Fmt.pr "molecules: %d  (%.2f per x86 insn)@." (Cms.total_molecules t)
+    (Cms.mpi t);
+  if stats || verbose then begin
+    Fmt.pr "host caches: %a@." Cms.Stats.pp_host s;
+    Fmt.pr "recovery: %a@." Cms.Stats.pp_recovery s;
+    Fmt.pr "persist: %a@." Cms.Stats.pp_persist s
+  end;
+  if verbose then begin
+    Fmt.pr "stats: %a@." Cms.Stats.pp s;
+    Fmt.pr "perf:  %a@." Vliw.Perf.pp p;
+    let out = Cms.uart_output t in
+    if out <> "" then Fmt.pr "--- serial ---@.%s@." out
+  end
+
+let do_record ~stats ~verbose ~cfg w path =
+  let t = Suite.run ~cfg w in
+  let arch_hex, strict_hex = digests_of t in
+  Persist.Journal.save path
+    {
+      Persist.Journal.label = w.Suite.name;
+      cfg;
+      guest = [];
+      host = [];
+      arch_hex = Some arch_hex;
+      strict_hex = Some strict_hex;
+    };
+  report ~stats ~verbose w t;
+  Fmt.pr "recorded: %s (arch %s, strict %s)@." path arch_hex strict_hex;
+  `Ok ()
+
+let do_replay ~stats ~verbose w path =
+  match Persist.Journal.load path with
+  | exception Persist.Codec.Corrupt msg ->
+      `Error (false, Fmt.str "cannot replay %s: %s" path msg)
+  | exception Sys_error msg -> `Error (false, "cannot replay: " ^ msg)
+  | j ->
+      if j.Persist.Journal.label <> w.Suite.name then
+        `Error
+          ( false,
+            Fmt.str "journal %s records workload %S, not %S" path
+              j.Persist.Journal.label w.Suite.name )
+      else begin
+        let t = Suite.run ~cfg:j.Persist.Journal.cfg w in
+        let arch_hex, strict_hex = digests_of t in
+        report ~stats ~verbose w t;
+        let check name recorded now =
+          match recorded with
+          | Some r when r <> now ->
+              Some (Fmt.str "%s digest mismatch (recorded %s, got %s)" name r now)
+          | _ -> None
+        in
+        match
+          List.filter_map Fun.id
+            [
+              check "arch" j.Persist.Journal.arch_hex arch_hex;
+              check "strict" j.Persist.Journal.strict_hex strict_hex;
+            ]
+        with
+        | [] ->
+            Fmt.pr "replay: PASS (bit-identical to recording)@.";
+            `Ok ()
+        | ms -> `Error (false, "replay FAILED: " ^ String.concat "; " ms)
+      end
+
+let do_soak ~cfg w every =
+  let r =
+    Persist.Soak.drill
+      ~make:(fun () -> Suite.prepare ~cfg w)
+      ~max_insns:w.Suite.max_insns ~every
+      ~compare_mem:(not w.Suite.uses_timer) ()
+  in
+  Fmt.pr "soak %s: %a@." w.Suite.name Persist.Soak.pp_result r;
+  if Persist.Soak.ok r then `Ok ()
+  else `Error (false, "soak drill diverged")
+
 let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
     no_groups no_stylized force_selfcheck interp_only no_fast_paths threshold
-    max_region stats verbose =
+    max_region stats record replay soak soak_every verbose =
   if list_only then begin
     List.iter (fun w -> Fmt.pr "%s@." w.Suite.name) (all_workloads ());
     `Ok ()
@@ -42,26 +133,17 @@ let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
             max_region_insns = max_region;
           }
         in
-        let t = Suite.run ~cfg w in
-        let s = Cms.stats t in
-        let p = Cms.perf t in
-        Fmt.pr "workload: %s@." w.Suite.name;
-        Fmt.pr "eax (checksum): %#x@." (Cms.gpr t X86.Regs.eax);
-        Fmt.pr "x86 retired: %d (%d interp / %d translated)@."
-          (Cms.retired t) s.Cms.Stats.x86_interp s.Cms.Stats.x86_translated;
-        Fmt.pr "molecules: %d  (%.2f per x86 insn)@." (Cms.total_molecules t)
-          (Cms.mpi t);
-        if stats || verbose then begin
-          Fmt.pr "host caches: %a@." Cms.Stats.pp_host s;
-          Fmt.pr "recovery: %a@." Cms.Stats.pp_recovery s
-        end;
-        if verbose then begin
-          Fmt.pr "stats: %a@." Cms.Stats.pp s;
-          Fmt.pr "perf:  %a@." Vliw.Perf.pp p;
-          let out = Cms.uart_output t in
-          if out <> "" then Fmt.pr "--- serial ---@.%s@." out
-        end;
-        `Ok ()
+        match (record, replay, soak) with
+        | Some path, None, false -> do_record ~stats ~verbose ~cfg w path
+        | None, Some path, false -> do_replay ~stats ~verbose w path
+        | None, None, true -> do_soak ~cfg w soak_every
+        | None, None, false ->
+            let t = Suite.run ~cfg w in
+            report ~stats ~verbose w t;
+            `Ok ()
+        | _ ->
+            `Error
+              (false, "--record, --replay and --soak are mutually exclusive")
 
 open Cmdliner
 
@@ -105,6 +187,29 @@ let max_region =
   Arg.(value & opt int Cms.Config.default.Cms.Config.max_region_insns
        & info [ "max-region" ] ~docv:"N" ~doc:"Region size cap (x86 insns).")
 
+let record_arg =
+  Arg.(value & opt (some string) None
+       & info [ "record" ] ~docv:"FILE"
+           ~doc:"Run the workload and write a deterministic journal (config + \
+                 final-state digests) to $(docv); verify later with --replay.")
+
+let replay_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Re-run the workload under the configuration recorded in \
+                 $(docv) and require bit-identical final-state digests.")
+
+let soak_flag =
+  flag [ "soak" ]
+    "Run the kill-and-resume soak drill: execute in segments, snapshot at \
+     each cut, destroy the machine, restore from the image and continue; \
+     then differentially compare against an uninterrupted run."
+
+let soak_every =
+  Arg.(value & opt int 150_000
+       & info [ "soak-every" ] ~docv:"N"
+           ~doc:"Soak segment length in retired instructions.")
+
 let verbose = flag [ "v"; "verbose" ] "Print detailed statistics."
 
 let cmd =
@@ -116,6 +221,6 @@ let cmd =
         (const run_cmd $ workload_arg $ list_only $ no_reorder $ no_alias $ no_fg
        $ no_chain $ no_reval $ no_groups $ no_stylized $ force_selfcheck
        $ interp_only $ no_fast_paths $ threshold $ max_region $ stats_flag
-       $ verbose))
+       $ record_arg $ replay_arg $ soak_flag $ soak_every $ verbose))
 
 let () = exit (Cmd.eval cmd)

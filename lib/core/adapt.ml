@@ -192,3 +192,30 @@ let cut_region t entry ~current =
   upgrade t entry { (Policy.default t.cfg) with Policy.max_insns = target }
 
 let size t = Hashtbl.length t.tbl
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot support                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Enumerate the table in deterministic (entry-address) order. *)
+let dump t =
+  Hashtbl.fold
+    (fun key e acc -> (key, e.pol, e.touch, e.escalations, e.failures) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b)
+
+(** Rebuild the table from a {!dump}.  This is the soft state worth
+    carrying across a restore: the demotion ladder's budgets and
+    quarantines, so an always-faulting entry does not get to re-climb
+    the ladder from scratch after a resume. *)
+let restore t ~clock ~evictions entries =
+  Hashtbl.reset t.tbl;
+  t.quarantined_live <- 0;
+  List.iter
+    (fun (key, pol, touch, escalations, failures) ->
+      if pol.Policy.interp_only then
+        t.quarantined_live <- t.quarantined_live + 1;
+      Hashtbl.replace t.tbl key { pol; touch; escalations; failures })
+    entries;
+  t.clock <- clock;
+  t.evictions <- evictions

@@ -52,6 +52,13 @@ type t = {
   mutable dcache_invalidations : int;  (** page invalidations + flushes *)
   mutable ram_fast_reads : int;  (** reads/fetches that bypassed the bus *)
   mutable ram_fast_writes : int;  (** writes that bypassed the bus *)
+  (* --- persist (checkpoint/restore + deterministic record-replay);
+     host-side bookkeeping, normalized away by strict digests --- *)
+  mutable snapshots_written : int;  (** snapshot images captured *)
+  mutable snapshot_bytes : int;  (** total bytes across those images *)
+  mutable journal_events : int;
+      (** journal events recorded or replayed into this engine *)
+  mutable resumes : int;  (** times this state was restored from an image *)
 }
 
 let create () =
@@ -93,6 +100,10 @@ let create () =
     dcache_invalidations = 0;
     ram_fast_reads = 0;
     ram_fast_writes = 0;
+    snapshots_written = 0;
+    snapshot_bytes = 0;
+    journal_events = 0;
+    resumes = 0;
   }
 
 let charge t m = t.charged_molecules <- t.charged_molecules + m
@@ -138,3 +149,9 @@ let pp_host fmt t =
      ram-fast[read=%d write=%d]"
     t.tlb_hits t.tlb_misses t.dcache_hits t.dcache_misses
     t.dcache_invalidations t.ram_fast_reads t.ram_fast_writes
+
+(** Persist counters (checkpoint/restore + record-replay). *)
+let pp_persist fmt t =
+  Fmt.pf fmt
+    "snapshots[written=%d bytes=%d] journal-events=%d resumes=%d"
+    t.snapshots_written t.snapshot_bytes t.journal_events t.resumes

@@ -27,8 +27,13 @@ type result = {
     called after each case with (index, verdict).  With [chaos] each
     case additionally carries a derived chaos seed and runs the chaos
     oracle (clean interpreter vs translator-under-injection) instead of
-    the clean three-way differential. *)
-let run ?(progress = fun _ _ -> ()) ?out_dir ?(max_insns = Oracle.default_max_insns)
+    the clean three-way differential.  With [forensics] every
+    divergence additionally dumps a replayable bundle into that
+    directory: the recorded event journal, the last-checkpoint and
+    final-state snapshots, the minimized case text and a counter
+    report. *)
+let run ?(progress = fun _ _ -> ()) ?out_dir ?forensics
+    ?(max_insns = Oracle.default_max_insns)
     ?(chaos = false) ~seed ~cases () =
   let root = Srng.create seed in
   let coverage = Coverage.create () in
@@ -66,6 +71,20 @@ let run ?(progress = fun _ _ -> ()) ?out_dir ?(max_insns = Oracle.default_max_in
                   ];
               Some path
         in
+        (match forensics with
+        | None -> ()
+        | Some dir ->
+            let name = Fmt.str "seed%d-case%d" seed index in
+            let rmin = Oracle.render ~max_insns ?chaos:chaos_seed minimized in
+            let rec_ = Oracle.record ~checkpoint_every:10_000 ~label:name rmin in
+            ignore
+              (Cms_persist.Forensics.dump ~dir ~name ~reason
+                 ?snapshot:rec_.Oracle.final_image
+                 ?checkpoint:rec_.Oracle.checkpoint ~journal:rec_.Oracle.journal
+                 ~case_text:
+                   (Corpus.write_string rmin ~seed
+                      ~comment:[ Fmt.str "divergence: %s" reason ])
+                 ()));
         divergences := { index; reason; minimized; saved } :: !divergences);
     progress index verdict
   done;
@@ -80,14 +99,24 @@ let run ?(progress = fun _ _ -> ()) ?out_dir ?(max_insns = Oracle.default_max_in
 
 (** Deterministic digest of everything a campaign observed: used to
     assert that the same seed reproduces the identical case sequence
-    and coverage numbers. *)
+    and coverage numbers.  Encoded with the stable {!Cms_persist.Codec}
+    byte format (not [Marshal]) so fingerprints are comparable across
+    compiler versions and builds. *)
 let fingerprint (r : result) =
-  Digest.string
-    (Marshal.to_string
-       ( r.seed,
-         r.cases,
-         r.passed,
-         r.hangs,
-         List.map (fun d -> (d.index, d.reason)) r.divergences,
-         Coverage.to_list r.coverage )
-       [])
+  let module C = Cms_persist.Codec in
+  let b = C.writer () in
+  C.w_int b r.seed;
+  C.w_int b r.cases;
+  C.w_int b r.passed;
+  C.w_int b r.hangs;
+  C.w_list b
+    (fun b (index, reason) ->
+      C.w_int b index;
+      C.w_string b reason)
+    (List.map (fun d -> (d.index, d.reason)) r.divergences);
+  C.w_list b
+    (fun b (key, count) ->
+      C.w_string b key;
+      C.w_int b count)
+    (Coverage.to_list r.coverage);
+  Digest.string (C.contents b)

@@ -1,24 +1,24 @@
 (** Event injection for differential fuzzing.
 
-    Two delivery mechanisms, chosen for cross-configuration soundness:
+    The implementation lives in {!Cms_persist.Journal} — the fuzzer's
+    injected events are exactly the journal's guest events, and sharing
+    the installer is what makes record → replay faithful: a recorded
+    event list replays through the same gated delivery algorithm that
+    injected it.  This module keeps the fuzzer-facing names.
+
+    Delivery mechanics (see {!Cms_persist.Journal.install_guest}):
 
     - {b Asynchronous} IRQ events key on the retired-instruction count
       and are raised from the engine's [on_boundary] hook.  The retired
-      clock ticks identically in interpreter and translator runs (one
-      per committed x86 instruction, REP iterations excluded), but the
-      *boundary* at which a given count is observed can differ — the
-      translator only stops at translation exits.  That is exactly the
-      slack the paper's §3.3 interrupt handling allows, and the
-      generator's counting-only handlers make the final architectural
-      state independent of it.
+      clock ticks identically in interpreter and translator runs, but
+      the *boundary* at which a given count is observed can differ —
+      exactly the slack the paper's §3.3 interrupt handling allows.
     - {b Synchronous} DMA and protection-flip events are consumed, in
-      order, by guest [out]s to {!Machine.Platform.fuzz_port}.  Port
-      I/O is interpreter-only (never inside a translation), so these
-      fire at the same architectural instruction in every
-      configuration, making their effects — including SMC invalidation
-      storms — directly comparable. *)
+      order, by guest [out]s to {!Machine.Platform.fuzz_port}: port I/O
+      is interpreter-only, so these fire at the same architectural
+      instruction in every configuration. *)
 
-type event =
+type event = Cms_persist.Journal.guest_event =
   | Irq of { at : int; line : int }
       (** raise IRQ [line] once ≥ [at] instructions have retired *)
   | Dma of { addr : int; data : string }
@@ -26,61 +26,8 @@ type event =
   | Prot of { virt : int; writable : bool }
       (** flip page-table writability of the page at [virt] *)
 
-let pp_event ppf = function
-  | Irq { at; line } -> Fmt.pf ppf "irq@%d line=%d" at line
-  | Dma { addr; data } -> Fmt.pf ppf "dma@%#x len=%d" addr (String.length data)
-  | Prot { virt; writable } -> Fmt.pf ppf "prot@%#x w=%b" virt writable
+let pp_event = Cms_persist.Journal.pp_guest_event
 
-(** Wire [events] into a freshly created engine (before [run]).  IRQ
-    events install the boundary hook; DMA/protection events queue on
-    the fuzz port, fired by successive guest [out]s. *)
+(** Wire [events] into a freshly created engine (before [run]). *)
 let install (c : Cms.t) (events : event list) =
-  let plat = Cms.platform c in
-  let mem = plat.Machine.Platform.mem in
-  let irqs =
-    List.filter_map
-      (function Irq { at; line } -> Some (at, line) | _ -> None)
-      events
-    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
-    |> Array.of_list
-  in
-  let sync = Queue.create () in
-  List.iter
-    (function (Dma _ | Prot _) as e -> Queue.add e sync | Irq _ -> ())
-    events;
-  if Array.length irqs > 0 then begin
-    (* Gate each raise on the line's latch being clear: the PIC latches
-       a line as a single bit, so raising the same line twice before
-       the first delivery would collapse two events into one — and
-       whether two nearby events straddle a delivery is exactly what
-       differs between interpreter and translator boundaries.  Holding
-       the later event back until the earlier one has been delivered
-       makes the total delivery count per line a pure function of the
-       event list in every configuration. *)
-    let next = ref 0 in
-    let irqc = plat.Machine.Platform.irq in
-    c.Cms.Engine.on_boundary <-
-      Some
-        (fun retired ->
-          let continue_ = ref true in
-          while !continue_ && !next < Array.length irqs do
-            let at, line = irqs.(!next) in
-            if at <= retired && irqc.Machine.Irq.pending land (1 lsl line) = 0
-            then begin
-              Machine.Irq.raise_line irqc line;
-              incr next
-            end
-            else continue_ := false
-          done)
-  end;
-  let fire _v =
-    match Queue.take_opt sync with
-    | None -> ()
-    | Some (Dma { addr; data }) ->
-        Machine.Mem.dma_write mem addr (Bytes.of_string data)
-    | Some (Prot { virt; writable }) ->
-        Machine.Mmu.set_writable mem.Machine.Mem.mmu ~virt writable
-    | Some (Irq _) -> assert false
-  in
-  Machine.Bus.add_port mem.Machine.Mem.bus Machine.Platform.fuzz_port
-    { Machine.Bus.pread = (fun _ -> Queue.length sync); pwrite = (fun _ v -> fire v) }
+  ignore (Cms_persist.Journal.install_guest c events)

@@ -26,7 +26,19 @@
     - All three stop the same way.  Hitting the instruction limit in
       every configuration is a {!Hang} (a generator bug, counted but
       not bit-compared — states at an arbitrary cut-off differ
-      legitimately); hitting it in only some is a divergence. *)
+      legitimately); hitting it in only some is a divergence.
+
+    Digests come from {!Cms_persist.Digests} (stable byte format, no
+    [Marshal]).  The module also hosts the fuzzer side of
+    record-replay: {!record} runs a case while journaling every
+    nondeterministic input (guest events verbatim; chaos injections via
+    {!Cms_robust.Chaos.tap} as opportunity indices), {!replay} re-runs
+    a journal with no RNG at all, and {!check_record_replay} asserts
+    the two runs are bit-identical. *)
+
+module Digests = Cms_persist.Digests
+module Journal = Cms_persist.Journal
+module Snapshot = Cms_persist.Snapshot
 
 type rendered = {
   listing : X86.Asm.listing;
@@ -68,84 +80,15 @@ let cfg_nofast =
 (* Digests                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let mem_digest_sans_stack (c : Cms.t) =
-  let m = Cms.mem c in
-  let data = Bytes.copy m.Machine.Mem.phys.Machine.Phys.data in
-  Bytes.fill data Gen.stack_lo (Gen.stack_top - Gen.stack_lo) '\x00';
-  Digest.bytes data
+(* Interrupt delivery boundaries differ legitimately between
+   configurations, leaving different dead bytes below ESP: mask the
+   stack pages out of every memory digest. *)
+let stack_mask = [ (Gen.stack_lo, Gen.stack_top) ]
 
-(** Cross-configuration architectural state (see module doc). *)
-type arch = {
-  gprs : int list;
-  eip : int;
-  eflags : int;
-  mem : Digest.t;
-  mmio_reads : int;
-  mmio_writes : int;
-  port_ops : int;
-  uart : string;
-  fb : int;
-}
+type arch = Digests.arch
 
-let arch_digest (c : Cms.t) =
-  let m = Cms.mem c in
-  let bus = m.Machine.Mem.bus in
-  {
-    gprs = List.map (Cms.gpr c) X86.Regs.all;
-    eip = Cms.eip c;
-    eflags = Cms.eflags c;
-    mem = mem_digest_sans_stack c;
-    mmio_reads = bus.Machine.Bus.mmio_reads;
-    mmio_writes = bus.Machine.Bus.mmio_writes;
-    port_ops = bus.Machine.Bus.port_ops;
-    uart = Cms.uart_output c;
-    fb = Machine.Framebuf.checksum (Cms.platform c).Machine.Platform.fb;
-  }
-
-(** Which fields of two architectural states differ (for divergence
-    reports). *)
-let arch_diff x y =
-  let d = ref [] in
-  let add fmt = Format.kasprintf (fun s -> d := s :: !d) fmt in
-  List.iteri
-    (fun i (a, b) ->
-      if a <> b then add "%s=%#x/%#x" X86.Regs.name32.(i) a b)
-    (List.combine x.gprs y.gprs);
-  if x.eip <> y.eip then add "eip=%#x/%#x" x.eip y.eip;
-  if x.eflags <> y.eflags then add "eflags=%#x/%#x" x.eflags y.eflags;
-  if x.mem <> y.mem then add "mem";
-  if x.mmio_reads <> y.mmio_reads then
-    add "mmio_reads=%d/%d" x.mmio_reads y.mmio_reads;
-  if x.mmio_writes <> y.mmio_writes then
-    add "mmio_writes=%d/%d" x.mmio_writes y.mmio_writes;
-  if x.port_ops <> y.port_ops then add "port_ops=%d/%d" x.port_ops y.port_ops;
-  if x.uart <> y.uart then add "uart";
-  if x.fb <> y.fb then add "fb=%d/%d" x.fb y.fb;
-  String.concat " " (List.rev !d)
-
-(** B-vs-C digest: everything in the PR 2 fast-path differential —
-    guest state plus cost model plus event counters plus perf. *)
-let strict_digest (c : Cms.t) =
-  let s = Cms.stats c in
-  let s_norm =
-    {
-      s with
-      Cms.Stats.tlb_hits = 0;
-      tlb_misses = 0;
-      dcache_hits = 0;
-      dcache_misses = 0;
-      dcache_invalidations = 0;
-      ram_fast_reads = 0;
-      ram_fast_writes = 0;
-    }
-  in
-  let m = Cms.mem c in
-  ( arch_digest c,
-    (s_norm, Cms.total_molecules c, Cms.retired c),
-    ( m.Machine.Mem.smc_events,
-      m.Machine.Mem.page_prot_faults,
-      m.Machine.Mem.dma_smc_events ),
-    Cms.perf c )
+let arch_digest (c : Cms.t) = Digests.arch ~mask:stack_mask c
+let arch_diff = Digests.arch_diff
 
 (* ------------------------------------------------------------------ *)
 (* Running one configuration                                           *)
@@ -165,16 +108,16 @@ type outcome = {
           own contract *)
 }
 
-let run_config ?chaos cfg (r : rendered) : outcome =
+(* Run one configuration of [r] with [setup] wiring the event sources
+   (recorded-journal replay installs different hooks than first-run
+   injection); returns the outcome *and* the machine for capture. *)
+let execute ~cfg ~setup (r : rendered) : outcome * Cms.t =
   let result, diags =
     Cms_analysis.Pipeline.with_collect (fun () ->
         let c = Cms.create ~cfg ~ram_size () in
         Cms.load c r.listing;
         Cms.boot c ~entry:r.entry;
-        Inject.install c r.events;
-        (match chaos with
-        | Some ch -> Cms_robust.Chaos.install ch c
-        | None -> ());
+        setup c;
         match Cms.run ~max_insns:r.max_insns c with
         | Cms.Engine.Halted -> (Halted, c)
         | Cms.Engine.Insn_limit -> (Limit, c)
@@ -189,12 +132,20 @@ let run_config ?chaos cfg (r : rendered) : outcome =
   let rejecting =
     List.filter (fun d -> not (Cms_analysis.Diag.is_advisory d)) diags
   in
-  {
-    stop;
-    arch = arch_digest c;
-    strict = Digest.string (Marshal.to_string (strict_digest c) []);
-    ndiags = List.length rejecting;
-  }
+  ( {
+      stop;
+      arch = arch_digest c;
+      strict = Digests.strict ~mask:stack_mask c;
+      ndiags = List.length rejecting;
+    },
+    c )
+
+let run_config ?chaos cfg (r : rendered) : outcome =
+  let setup c =
+    Inject.install c r.events;
+    match chaos with Some ch -> Cms_robust.Chaos.install ch c | None -> ()
+  in
+  fst (execute ~cfg ~setup r)
 
 (* ------------------------------------------------------------------ *)
 (* Verdict                                                             *)
@@ -239,6 +190,15 @@ let check_clean (r : rendered) : verdict =
     Divergence "strict digest: fast paths on vs off"
   else Pass
 
+(* The chaos run's configuration and injector, derived from the seed.
+   The split order is load-bearing: it fixes the byte-for-byte RNG
+   streams, so a seed names one exact adversity schedule. *)
+let chaos_cfg_of_seed seed =
+  let rng = Srng.create seed in
+  let cfg = Cms_robust.Chaos.scramble_cfg (Srng.split rng) cfg_translate in
+  let ch = Cms_robust.Chaos.create (Srng.split rng) in
+  (cfg, ch)
+
 (* The chaos differential: clean interpreter vs the translator under a
    seeded injection schedule and scrambled capacities.  The strict
    digest is meaningless here (injection perturbs every counter), but
@@ -246,9 +206,7 @@ let check_clean (r : rendered) : verdict =
    recovery thesis under host-side attack. *)
 let check_chaos (r : rendered) ~seed : verdict =
   let a = run_config cfg_interp r in
-  let rng = Srng.create seed in
-  let cfg = Cms_robust.Chaos.scramble_cfg (Srng.split rng) cfg_translate in
-  let ch = Cms_robust.Chaos.create (Srng.split rng) in
+  let cfg, ch = chaos_cfg_of_seed seed in
   let b = run_config ~chaos:ch cfg r in
   let crashed o = match o.stop with Crash _ -> true | _ -> false in
   if crashed a || crashed b then
@@ -276,3 +234,103 @@ let check (r : rendered) : verdict =
 
 let diverges (r : rendered) =
   match check r with Divergence _ -> true | Pass | Hang -> false
+
+(* ------------------------------------------------------------------ *)
+(* Record / replay                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type recording = {
+  journal : Journal.t;
+  outcome : outcome;
+  final_image : string option;
+      (** final-state snapshot (when the run ended at a consistent
+          boundary — a [Crash] can leave the machine mid-molecule) *)
+  checkpoint : string option;  (** last periodic checkpoint image *)
+}
+
+(** Run [r]'s translator configuration (chaos-scrambled when the case
+    carries a chaos seed) while recording every nondeterministic input.
+    Guest events are journaled verbatim; chaos injections are observed
+    through {!Cms_robust.Chaos.tap} and journaled as opportunity
+    indices.  [checkpoint_every] arms periodic snapshotting so a later
+    failure is resumable from mid-run. *)
+let record ?checkpoint_every ?(label = "case") (r : rendered) : recording =
+  let cfg, chaos =
+    match r.chaos with
+    | None -> (cfg_translate, None)
+    | Some seed ->
+        let cfg, ch = chaos_cfg_of_seed seed in
+        (cfg, Some ch)
+  in
+  let host = ref [] in
+  let tap =
+    {
+      Cms_robust.Chaos.tap_kill =
+        (fun nth -> host := Journal.Kill { nth } :: !host);
+      tap_fault =
+        (fun nth alias -> host := Journal.Pre_fault { nth; alias } :: !host);
+      tap_spoof = (fun nth -> host := Journal.Spoof { nth } :: !host);
+      tap_flush = (fun nth -> host := Journal.Flush { nth } :: !host);
+      tap_evict = (fun nth -> host := Journal.Evict { nth } :: !host);
+    }
+  in
+  let ckpt = ref None in
+  let setup c =
+    let injector = Journal.install_guest c r.events in
+    (match checkpoint_every with
+    | Some every ->
+        ckpt := Some (Snapshot.arm ~label ~injector c ~every)
+    | None -> ());
+    match chaos with
+    | Some ch -> Cms_robust.Chaos.install ~tap ch c
+    | None -> ()
+  in
+  let outcome, c = execute ~cfg ~setup r in
+  let final_image =
+    if Snapshot.consistent c then Some (Snapshot.capture ~label c) else None
+  in
+  let journal =
+    {
+      Journal.label;
+      cfg;
+      guest = r.events;
+      host = List.rev !host;
+      arch_hex = Some (Digests.arch_hex outcome.arch);
+      strict_hex = Some (Digests.strict_hex outcome.strict);
+    }
+  in
+  {
+    journal;
+    outcome;
+    final_image;
+    checkpoint = (match !ckpt with Some ck -> ck.Snapshot.image | None -> None);
+  }
+
+(** Re-run a journal deterministically: guest events through the same
+    gated installer, host events by opportunity-counter matching.  No
+    RNG runs; the journal alone drives every injection. *)
+let replay (r : rendered) (j : Journal.t) : outcome =
+  let setup c =
+    ignore (Journal.install_guest c j.Journal.guest);
+    if j.Journal.host <> [] then Journal.install_host c j.Journal.host
+  in
+  fst (execute ~cfg:j.Journal.cfg ~setup { r with chaos = None })
+
+(** The record-replay differential: record [r], replay the journal, and
+    require bit-identical outcomes (stop kind, architectural digest,
+    strict digest, verifier diagnostics). *)
+let check_record_replay (r : rendered) : verdict =
+  let rec_ = record r in
+  let rep = replay r rec_.journal in
+  let o = rec_.outcome in
+  if o.stop <> rep.stop then
+    Divergence
+      (Fmt.str "record/replay stop mismatch (%s vs %s)" (stop_name o.stop)
+         (stop_name rep.stop))
+  else if o.arch <> rep.arch then
+    Divergence ("record/replay arch: " ^ arch_diff o.arch rep.arch)
+  else if o.strict <> rep.strict then Divergence "record/replay strict digest"
+  else if o.ndiags <> rep.ndiags then
+    Divergence
+      (Fmt.str "record/replay diagnostics (%d vs %d)" o.ndiags rep.ndiags)
+  else Pass

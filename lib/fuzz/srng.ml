@@ -1,6 +1,6 @@
-(** Deterministic splittable RNG — moved to {!Cms_robust.Srng} so the
-    chaos layer can be seeded without depending on the fuzzer; re-
-    exported here so fuzzer code (and the bench harness) keeps its
-    spelling. *)
+(** Deterministic splittable RNG — the implementation lives in the
+    shared {!Splitmix} library (one copy for both the chaos layer and
+    the fuzzer); re-exported here so fuzzer code (and the bench
+    harness) keeps its spelling. *)
 
-include Cms_robust.Srng
+include Splitmix

@@ -41,6 +41,18 @@ let create ~image ~irq ~line ~latency =
 
 let set_dma_write t f = t.dma_write <- f
 
+(* Snapshot support: mutable register state as a plain tuple.  The
+   sector image and the latency are creation parameters, captured
+   separately by the snapshot layer. *)
+let snapshot t = (t.sector, t.dest, t.count, t.busy, t.transfers)
+
+let restore t (sector, dest, count, busy, transfers) =
+  t.sector <- sector;
+  t.dest <- dest;
+  t.count <- count;
+  t.busy <- busy;
+  t.transfers <- transfers
+
 let start t =
   if t.busy = 0 && t.count > 0 then t.busy <- t.latency
 

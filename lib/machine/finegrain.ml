@@ -94,3 +94,10 @@ let invalidate t ~ppn =
 let clear t =
   Hashtbl.reset t.entries;
   t.lru <- []
+
+(** Cached entries in deterministic (ppn) order — captured by snapshots
+    for forensics (the cache itself is restored cold, like the tcache:
+    the authoritative masks live CMS-side and are re-derived). *)
+let dump t =
+  Hashtbl.fold (fun ppn mask acc -> (ppn, mask) :: acc) t.entries []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -45,6 +45,18 @@ let mmio_handler t =
         | _ -> ());
   }
 
+(* Snapshot support: contents plus counters.  Restore blits into the
+   existing backing store ([mem] is fixed-size per window). *)
+let snapshot t = (Bytes.copy t.mem, t.writes, t.reads, t.frames)
+
+let restore t (mem, writes, reads, frames) =
+  if Bytes.length mem <> t.size then
+    invalid_arg "Framebuf.restore: size mismatch";
+  Bytes.blit mem 0 t.mem 0 t.size;
+  t.writes <- writes;
+  t.reads <- reads;
+  t.frames <- frames
+
 (** Checksum of the frame-buffer contents, for workload validation. *)
 let checksum t =
   let acc = ref 0 in

@@ -94,6 +94,23 @@ let set_enabled t on =
   flush_tlb t;
   t.enabled <- on
 
+(* Snapshot support: enumerate the page table in deterministic (vpn)
+   order, and rebuild it from such a dump.  Restoring flushes the TLB —
+   the rebuilt table is a wholesale change. *)
+let dump_entries t =
+  Hashtbl.fold
+    (fun vpn e acc -> (vpn, e.ppn, e.present, e.writable) :: acc)
+    t.table []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let restore_entries t entries =
+  Hashtbl.reset t.table;
+  List.iter
+    (fun (vpn, ppn, present, writable) ->
+      Hashtbl.replace t.table vpn { ppn; present; writable })
+    entries;
+  flush_tlb t
+
 let fault addr access present =
   raise
     (X86.Exn.Fault

@@ -1,0 +1,274 @@
+(** Stable binary encoding for persist images.
+
+    Two layers:
+
+    - {b primitives}: fixed-width little-endian scalars, length-prefixed
+      strings, lists, and a zero-run-elided sparse encoding for big
+      mostly-zero byte arrays (guest RAM).  Everything is
+      format-defined, byte for byte — no [Marshal], so images and
+      digests survive compiler upgrades and are diffable across
+      machines.
+    - {b container}: a tagged image [magic · kind · version · sections ·
+      trailer].  Every section carries an MD5 digest of its payload, and
+      the trailer digests the whole body, so corruption is both detected
+      and *located*: load failures raise {!Corrupt} with the section tag
+      and byte position at fault.
+
+    Readers are strict: every length is bounds-checked before use, every
+    section must verify, and trailing garbage is rejected.  A truncated,
+    bit-flipped or wrong-kind image never produces a half-restored
+    machine — it produces a diagnostic. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type w = Buffer.t
+
+let writer () = Buffer.create 4096
+let contents = Buffer.contents
+let w_int b v = Buffer.add_int64_le b (Int64.of_int v)
+let w_int64 b v = Buffer.add_int64_le b v
+let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_bytes b by = w_string b (Bytes.unsafe_to_string by)
+
+let w_list b f l =
+  w_int b (List.length l);
+  List.iter (f b) l
+
+let w_int_array b a =
+  w_int b (Array.length a);
+  Array.iter (w_int b) a
+
+let w_opt b f = function
+  | None -> w_bool b false
+  | Some v ->
+      w_bool b true;
+      f b v
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type r = { data : string; mutable pos : int; ctx : string }
+
+let reader ?(ctx = "image") data = { data; pos = 0; ctx }
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.data then
+    corrupt "%s: truncated at byte %d (need %d more bytes, have %d)" r.ctx
+      r.pos n
+      (String.length r.data - r.pos)
+
+let r_fixed r n =
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_int64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let r_bool r =
+  need r 1;
+  let c = r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  match c with
+  | '\000' -> false
+  | '\001' -> true
+  | c -> corrupt "%s: invalid boolean byte %#x at byte %d" r.ctx (Char.code c) (r.pos - 1)
+
+let r_string r =
+  let n = r_int r in
+  if n < 0 then corrupt "%s: negative string length %d at byte %d" r.ctx n (r.pos - 8);
+  r_fixed r n
+
+let r_bytes r = Bytes.of_string (r_string r)
+
+let r_list r f =
+  let n = r_int r in
+  if n < 0 then corrupt "%s: negative list length %d at byte %d" r.ctx n (r.pos - 8);
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f r :: acc) in
+  go n []
+
+let r_int_array r =
+  let n = r_int r in
+  if n < 0 then corrupt "%s: negative array length %d at byte %d" r.ctx n (r.pos - 8);
+  (* element order matters; build via an explicit loop *)
+  let a = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- r_int r
+  done;
+  if n = 0 then [||] else a
+
+let r_opt r f = if r_bool r then Some (f r) else None
+
+(** The reader must be exactly exhausted; catches encoder/decoder skew
+    and images with appended garbage. *)
+let r_end r =
+  if r.pos <> String.length r.data then
+    corrupt "%s: %d trailing bytes after byte %d" r.ctx
+      (String.length r.data - r.pos)
+      r.pos
+
+(* ------------------------------------------------------------------ *)
+(* Sparse byte arrays                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Guest RAM is mostly zero: encode as total length + the non-zero
+   [sparse_chunk]-sized runs, each as (offset, bytes).  A 16 MiB image
+   with a few hundred KiB live collapses to the live part. *)
+let sparse_chunk = 4096
+
+let w_sparse b data =
+  let total = Bytes.length data in
+  w_int b total;
+  let zero off len =
+    let rec go i = i >= len || (Bytes.get data (off + i) = '\000' && go (i + 1)) in
+    go 0
+  in
+  let chunks = ref [] in
+  let nchunks = ref 0 in
+  let off = ref 0 in
+  while !off < total do
+    let len = min sparse_chunk (total - !off) in
+    if not (zero !off len) then begin
+      chunks := (!off, len) :: !chunks;
+      incr nchunks
+    end;
+    off := !off + len
+  done;
+  w_int b !nchunks;
+  List.iter
+    (fun (off, len) ->
+      w_int b off;
+      w_string b (Bytes.sub_string data off len))
+    (List.rev !chunks)
+
+let r_sparse r =
+  let total = r_int r in
+  if total < 0 then corrupt "%s: negative sparse image size %d" r.ctx total;
+  let data = Bytes.make total '\000' in
+  let n = r_int r in
+  if n < 0 then corrupt "%s: negative sparse chunk count %d" r.ctx n;
+  for _ = 1 to n do
+    let off = r_int r in
+    let s = r_string r in
+    if off < 0 || off + String.length s > total then
+      corrupt "%s: sparse chunk [%d, +%d) outside image of %d bytes" r.ctx off
+        (String.length s) total;
+    Bytes.blit_string s 0 data off (String.length s)
+  done;
+  data
+
+(* ------------------------------------------------------------------ *)
+(* Container                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "CMSPERSIST\n"
+let trailer_tag = "ENDS"
+
+(** Assemble a container image of [kind] (a 4-character tag, e.g.
+    ["SNAP"]) at [version] from tagged sections. *)
+let write_container ~kind ~version (sections : (string * string) list) =
+  assert (String.length kind = 4);
+  let b = Buffer.create 65536 in
+  Buffer.add_string b magic;
+  Buffer.add_string b kind;
+  w_int b version;
+  w_int b (List.length sections);
+  List.iter
+    (fun (tag, payload) ->
+      assert (String.length tag = 4);
+      Buffer.add_string b tag;
+      w_int b (String.length payload);
+      Buffer.add_string b payload;
+      Buffer.add_string b (Digest.string payload))
+    sections;
+  let body = Buffer.contents b in
+  body ^ trailer_tag ^ Digest.string body
+
+(** Parse and fully verify a container; returns the sections in image
+    order.  Raises {!Corrupt} with a precise diagnostic on any defect:
+    bad magic, wrong kind, unsupported version, truncation, a section
+    whose payload fails its digest, a missing or failing trailer, or
+    trailing garbage. *)
+let read_container ~kind ~version data =
+  let mlen = String.length magic in
+  if String.length data < mlen || String.sub data 0 mlen <> magic then
+    corrupt "not a CMS persist image (bad or missing magic)";
+  let r = reader ~ctx:"container" data in
+  r.pos <- mlen;
+  let k = r_fixed r 4 in
+  if k <> kind then
+    corrupt "wrong image kind %S (expected %S)" k kind;
+  let v = r_int r in
+  if v <> version then
+    corrupt "unsupported %s format version %d (this build reads version %d)"
+      kind v version;
+  let nsec = r_int r in
+  if nsec < 0 || nsec > 0xffff then
+    corrupt "implausible section count %d" nsec;
+  let sections = ref [] in
+  for _ = 1 to nsec do
+    let tag = r_fixed r 4 in
+    let len = r_int r in
+    if len < 0 then corrupt "section %S: negative length %d" tag len;
+    if r.pos + len + 16 > String.length data then
+      corrupt "section %S: truncated (%d-byte payload at byte %d, image is %d bytes)"
+        tag len r.pos (String.length data);
+    let payload = r_fixed r len in
+    let digest = r_fixed r 16 in
+    if Digest.string payload <> digest then
+      corrupt "section %S: payload digest mismatch (corrupted bytes)" tag;
+    sections := (tag, payload) :: !sections
+  done;
+  let body_end = r.pos in
+  (match r_fixed r 4 with
+  | t when t = trailer_tag -> ()
+  | t -> corrupt "missing trailer (found %S where %S expected)" t trailer_tag);
+  let whole = r_fixed r 16 in
+  if Digest.string (String.sub data 0 body_end) <> whole then
+    corrupt "whole-image digest mismatch (image corrupted)";
+  r_end r;
+  List.rev !sections
+
+(** Find a required section. *)
+let section sections tag =
+  match List.assoc_opt tag sections with
+  | Some payload -> payload
+  | None -> corrupt "missing required section %S" tag
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc data)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

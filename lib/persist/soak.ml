@@ -1,0 +1,115 @@
+(** The kill-and-resume soak drill.
+
+    Runs a workload twice: once uninterrupted (the oracle), and once
+    chopped into segments — run a slice, capture a snapshot at the
+    commit boundary, throw the whole machine away, restore from the
+    image, continue — then differentially compares the final states.
+    This is the end-to-end proof that snapshots capture everything that
+    matters: any state a snapshot misses shows up as a divergence.
+
+    What must match is configuration-dependent.  GPRs, EIP,
+    architectural EFLAGS, UART output and the frame-buffer checksum are
+    functions of the retired-instruction clock and always compared.
+    Timer-driven state is a function of the *molecule* clock, and a
+    resumed run — restarting with a cold translation cache — consumes a
+    different number of molecules to retire the same instructions, so
+    timer workloads legitimately differ in jiffy counts, stale stack
+    bytes from differently-timed handler frames, and device-poll
+    iteration counts.  Callers pass [compare_mem:false] for those (the
+    suite's [uses_timer] flag). *)
+
+type result = {
+  resumes : int;  (** restore cycles performed *)
+  snapshots : int;  (** snapshots captured *)
+  snapshot_bytes : int;  (** total image bytes written *)
+  oracle_stop : Cms.Engine.stop;
+  soak_stop : Cms.Engine.stop;
+  mismatches : string list;  (** empty = drill passed *)
+}
+
+let ok r = r.mismatches = []
+
+let pp_stop ppf (s : Cms.Engine.stop) =
+  match s with
+  | Cms.Engine.Halted -> Fmt.string ppf "halted"
+  | Cms.Engine.Insn_limit -> Fmt.string ppf "insn-limit"
+
+(* Compare the two final machines; the mem digest and bus counters only
+   when the workload is molecule-clock-independent. *)
+let compare_final ~compare_mem (oracle : Cms.t) (soaked : Cms.t) =
+  let d = ref [] in
+  let add fmt = Format.kasprintf (fun s -> d := s :: !d) fmt in
+  List.iter
+    (fun r ->
+      let a = Cms.gpr oracle r and b = Cms.gpr soaked r in
+      if a <> b then add "%s=%#x/%#x" X86.Regs.name32.(r) a b)
+    X86.Regs.all;
+  if Cms.eip oracle <> Cms.eip soaked then
+    add "eip=%#x/%#x" (Cms.eip oracle) (Cms.eip soaked);
+  if Cms.eflags oracle <> Cms.eflags soaked then
+    add "eflags=%#x/%#x" (Cms.eflags oracle) (Cms.eflags soaked);
+  if Cms.uart_output oracle <> Cms.uart_output soaked then add "uart";
+  let fb c = Machine.Framebuf.checksum (Cms.platform c).Machine.Platform.fb in
+  if fb oracle <> fb soaked then add "fb=%d/%d" (fb oracle) (fb soaked);
+  if compare_mem then begin
+    if Digests.mem_digest oracle <> Digests.mem_digest soaked then add "mem";
+    let bus c = (Cms.mem c).Machine.Mem.bus in
+    let bo = bus oracle and bs = bus soaked in
+    if bo.Machine.Bus.mmio_reads <> bs.Machine.Bus.mmio_reads then
+      add "mmio_reads=%d/%d" bo.Machine.Bus.mmio_reads bs.Machine.Bus.mmio_reads;
+    if bo.Machine.Bus.mmio_writes <> bs.Machine.Bus.mmio_writes then
+      add "mmio_writes=%d/%d" bo.Machine.Bus.mmio_writes
+        bs.Machine.Bus.mmio_writes;
+    if bo.Machine.Bus.port_ops <> bs.Machine.Bus.port_ops then
+      add "port_ops=%d/%d" bo.Machine.Bus.port_ops bs.Machine.Bus.port_ops
+  end;
+  List.rev !d
+
+(** Run the drill.  [make] builds a fresh, loaded, booted machine (not
+    yet run); [max_insns] bounds both legs; [every] is the soak leg's
+    segment length in retired instructions. *)
+let drill ~(make : unit -> Cms.t) ~max_insns ~every ?(compare_mem = true) () =
+  if every <= 0 then invalid_arg "Soak.drill: every must be positive";
+  (* Oracle leg: one uninterrupted run. *)
+  let oracle = make () in
+  let oracle_stop = Cms.run ~max_insns oracle in
+  (* Soak leg: run to an absolute retired-instruction target, snapshot,
+     discard the machine, restore, repeat.  [max_insns] is an absolute
+     bound on the retired clock, so targets carry across resumes. *)
+  let resumes = ref 0 in
+  let snapshots = ref 0 in
+  let bytes = ref 0 in
+  let rec go (c : Cms.t) target =
+    let stop = Cms.run ~max_insns:(min target max_insns) c in
+    if Cms.retired c >= max_insns || stop = Cms.Engine.Halted then (c, stop)
+    else begin
+      let image = Snapshot.capture ~label:"soak" c in
+      incr snapshots;
+      bytes := !bytes + String.length image;
+      (* the old machine is dropped here: the restore must stand alone *)
+      let c', _meta = Snapshot.restore image in
+      incr resumes;
+      go c' (target + every)
+    end
+  in
+  let soaked, soak_stop = go (make ()) every in
+  {
+    resumes = !resumes;
+    snapshots = !snapshots;
+    snapshot_bytes = !bytes;
+    oracle_stop;
+    soak_stop;
+    mismatches =
+      (if oracle_stop <> soak_stop then
+         [ Fmt.str "stop=%a/%a" pp_stop oracle_stop pp_stop soak_stop ]
+       else [])
+      @ compare_final ~compare_mem oracle soaked;
+  }
+
+let pp_result ppf r =
+  if ok r then
+    Fmt.pf ppf "ok (%d resumes, %d snapshots, %d bytes)" r.resumes r.snapshots
+      r.snapshot_bytes
+  else
+    Fmt.pf ppf "DIVERGED after %d resumes: %s" r.resumes
+      (String.concat " " r.mismatches)

@@ -110,45 +110,82 @@ let scramble_cfg rng (cfg : Cms.Config.t) =
 
 let hit t rate = rate > 0 && Srng.chance t.rng rate 1000
 
+(** Observer for the injections that actually fire, keyed by
+    *opportunity index* — the nth time the corresponding hook ran.  The
+    opportunity streams are pure functions of the deterministic
+    execution, so a recorded [(kind, nth)] list replayed by counter
+    matching (no RNG) reproduces the identical injection schedule: this
+    is what {!Cms_persist.Journal} records for record-replay. *)
+type tap = {
+  tap_kill : int -> unit;  (** nth [on_translate] opportunity *)
+  tap_fault : int -> bool -> unit;
+      (** nth [pre_exec] opportunity; [true] = alias fault, [false] =
+          store-buffer overflow *)
+  tap_spoof : int -> unit;  (** nth [irq_spoof] poll *)
+  tap_flush : int -> unit;  (** nth dispatch boundary *)
+  tap_evict : int -> unit;  (** nth dispatch boundary *)
+}
+
 (** Arm an engine.  Composes with any already-installed
     [on_boundary] hook (the fuzzer's event injector), running the
-    previous hook first. *)
-let install t (e : Cms.Engine.t) =
+    previous hook first.  [tap] observes realized injections with their
+    opportunity indices (for the record-replay journal); counting the
+    opportunities draws nothing from the RNG, so armed-with-tap and
+    armed-without-tap runs are bit-identical. *)
+let install ?tap t (e : Cms.Engine.t) =
+  let n_boundary = ref 0 in
+  let n_translate = ref 0 in
+  let n_exec = ref 0 in
+  let n_spoof = ref 0 in
   let prev = e.Cms.Engine.on_boundary in
   e.Cms.Engine.on_boundary <-
     Some
       (fun retired ->
         (match prev with Some f -> f retired | None -> ());
+        let n = !n_boundary in
+        incr n_boundary;
         if hit t t.profile.flush_storm then begin
           t.flushes <- t.flushes + 1;
+          (match tap with Some tp -> tp.tap_flush n | None -> ());
           Cms.Tcache.flush e.Cms.Engine.tcache
         end;
-        if hit t t.profile.evict_storm then
+        if hit t t.profile.evict_storm then begin
+          (match tap with Some tp -> tp.tap_evict n | None -> ());
           t.evicted <-
-            t.evicted + Cms.Tcache.evict_coldest e.Cms.Engine.tcache);
+            t.evicted + Cms.Tcache.evict_coldest e.Cms.Engine.tcache
+        end);
   e.Cms.Engine.chaos <-
     Some
       {
         Cms.Engine.on_translate =
           (fun entry ->
+            let n = !n_translate in
+            incr n_translate;
             if hit t t.profile.translate_die then begin
               t.translator_kills <- t.translator_kills + 1;
+              (match tap with Some tp -> tp.tap_kill n | None -> ());
               raise (Injected (Fmt.str "translator death at %#x" entry))
             end);
         pre_exec =
           (fun _tr ->
+            let n = !n_exec in
+            incr n_exec;
             if hit t t.profile.pre_fault then begin
               t.injected_faults <- t.injected_faults + 1;
+              let alias = Srng.chance t.rng t.profile.alias_share 100 in
+              (match tap with Some tp -> tp.tap_fault n alias | None -> ());
               Some
-                (if Srng.chance t.rng t.profile.alias_share 100 then
-                   Vliw.Nexn.Alias_violation 0
+                (if alias then Vliw.Nexn.Alias_violation 0
                  else Vliw.Nexn.Sbuf_overflow)
             end
             else None);
         irq_spoof =
           (fun () ->
+            let n = !n_spoof in
+            incr n_spoof;
             if hit t t.profile.irq_spoof then begin
               t.irq_spoofs <- t.irq_spoofs + 1;
+              (match tap with Some tp -> tp.tap_spoof n | None -> ());
               true
             end
             else false);

@@ -26,14 +26,21 @@ let make ?(kind = App) ?(expected_eax = None) ?(max_insns = 3_000_000)
     ?disk_image ?(uses_timer = false) ~name ~entry listing =
   { name; kind; listing; entry; expected_eax; max_insns; disk_image; uses_timer }
 
-(** Run a workload under [cfg]; returns the engine after the run.
-    Raises if the workload's self-check fails — experiment numbers from
-    broken runs are worthless. *)
-let run ?(cfg = Cms.Config.default) (w : t) =
+(** Build the machine for a workload — created, loaded, booted, not yet
+    run.  Snapshot/record harnesses use this to instrument the engine
+    before the first instruction. *)
+let prepare ?(cfg = Cms.Config.default) (w : t) =
   let t = Cms.create ~cfg ?disk_image:w.disk_image () in
   Cms.load t w.listing;
   (* the suite's data regions reach up to ~0x2c0000 *)
   Cms.boot ~map_mib:4 t ~entry:w.entry;
+  t
+
+(** Run a workload under [cfg]; returns the engine after the run.
+    Raises if the workload's self-check fails — experiment numbers from
+    broken runs are worthless. *)
+let run ?cfg (w : t) =
+  let t = prepare ?cfg w in
   let stop = Cms.run ~max_insns:w.max_insns t in
   (match stop with
   | Cms.Engine.Halted -> ()
