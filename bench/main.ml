@@ -286,6 +286,96 @@ let run_persist () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Ahead-of-time translation: cold start vs image boot                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold start pays the cost model twice over: every hot instruction is
+   interpreted [translate_threshold] times (interp_cost each) and then
+   translated (translate_cost per x86 insn).  Booting from an AOT image
+   skips both for the statically discovered code, so the total-molecule
+   delta between the two runs *is* the cold-start overhead removed.
+   The warm run round-trips the image through the stable codec — the
+   benchmark measures the real boot path, not an in-memory shortcut. *)
+let run_aot ~json () =
+  let workloads =
+    List.hd Workloads.Progs_boot.all :: Workloads.Progs_spec.all
+  in
+  let cfg = Cms.Config.default in
+  let rows =
+    List.map
+      (fun (w : Workloads.Suite.t) ->
+        let cold = Workloads.Suite.run ~cfg w in
+        let warm =
+          let c = Workloads.Suite.prepare ~cfg w in
+          let img =
+            (Cms_analysis.Aotgen.build ~label:w.Workloads.Suite.name c
+               ~entry:w.Workloads.Suite.entry)
+              .Cms_analysis.Aotgen.image
+          in
+          let img =
+            Cms_persist.Aot.of_string (Cms_persist.Aot.to_string img)
+          in
+          ignore (Cms_persist.Aot.install c img : Cms_persist.Aot.install_report);
+          Workloads.Suite.run_prepared w c
+        in
+        if
+          (not w.Workloads.Suite.uses_timer)
+          && Cms_persist.Digests.arch cold <> Cms_persist.Digests.arch warm
+        then begin
+          Fmt.epr "aot bench: %S diverged between cold and AOT-warm runs!@."
+            w.Workloads.Suite.name;
+          exit 1
+        end;
+        let sw = Cms.stats warm in
+        let retired = Cms.retired warm in
+        let coverage =
+          if retired = 0 then 0.0
+          else
+            float_of_int sw.Cms.Stats.aot_x86_retired /. float_of_int retired
+        in
+        let mc = Cms.total_molecules cold and mw = Cms.total_molecules warm in
+        let reduction =
+          if mc = 0 then 0.0
+          else float_of_int (mc - mw) /. float_of_int mc *. 100.0
+        in
+        (w, cold, warm, coverage, reduction, mc, mw))
+      workloads
+  in
+  pr "=== AOT boot: cold start vs translation image ===@.";
+  pr "  %-28s %12s %12s %7s %9s %6s %6s@." "workload" "cold mol" "warm mol"
+    "redn%" "aot-cover" "dyn-tr" "aot-tr";
+  List.iter
+    (fun ((w : Workloads.Suite.t), cold, warm, coverage, reduction, mc, mw) ->
+      ignore cold;
+      let sw = Cms.stats warm in
+      pr "  %-28s %12d %12d %6.1f%% %8.1f%% %6d %6d@." w.Workloads.Suite.name
+        mc mw reduction (coverage *. 100.0) sw.Cms.Stats.translations
+        sw.Cms.Stats.aot_loaded)
+    rows;
+  if json then begin
+    let oc = open_out "BENCH_aot.json" in
+    let j = Fmt.str in
+    let row_json ((w : Workloads.Suite.t), cold, warm, coverage, reduction, mc, mw)
+        =
+      let sc = Cms.stats cold and sw = Cms.stats warm in
+      j
+        "    { \"workload\": %S, \"cold_molecules\": %d, \"warm_molecules\": \
+         %d, \"reduction_pct\": %.2f, \"cold_mpi\": %.3f, \"warm_mpi\": %.3f, \
+         \"retired\": %d, \"dynamic_translations_cold\": %d, \
+         \"dynamic_translations_warm\": %d, \"aot_loaded\": %d, \"aot_hits\": \
+         %d, \"aot_coverage_pct\": %.2f }"
+        w.Workloads.Suite.name mc mw reduction (Cms.mpi cold) (Cms.mpi warm)
+        (Cms.retired warm) sc.Cms.Stats.translations sw.Cms.Stats.translations
+        sw.Cms.Stats.aot_loaded sw.Cms.Stats.aot_hits (coverage *. 100.0)
+    in
+    output_string oc
+      (j "{\n  \"bench\": \"aot\",\n  \"workloads\": [\n%s\n  ]\n}\n"
+         (String.concat ",\n" (List.map row_json rows)));
+    close_out oc;
+    pr "  wrote BENCH_aot.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Fast-path smoke check (CI: dune build @bench-smoke)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -333,7 +423,8 @@ let all () =
   run_ablations ();
   run_micro ();
   run_hotpath ~json:false ();
-  run_persist ()
+  run_persist ();
+  run_aot ~json:false ()
 
 let () =
   let json =
@@ -361,11 +452,12 @@ let () =
       run_hotpath ~json ()
   | "hotpath" -> run_hotpath ~json ()
   | "persist" -> run_persist ()
+  | "aot" -> run_aot ~json ()
   | "smoke" -> run_smoke ()
   | "all" -> all ()
   | other ->
       Fmt.epr
         "unknown experiment %S; one of: fig2 fig3 table1 selfcheck selfreval \
-         groups flow ablations micro hotpath persist smoke all@."
+         groups flow ablations micro hotpath persist aot smoke all@."
         other;
       exit 1

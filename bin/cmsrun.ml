@@ -93,6 +93,87 @@ let do_replay ~stats ~verbose w path =
         | ms -> `Error (false, "replay FAILED: " ^ String.concat "; " ms)
       end
 
+let do_aot_build ~verbose ~cfg w path =
+  let t = Suite.prepare ~cfg w in
+  let r = Cms_analysis.Aotgen.build ~label:w.Suite.name t ~entry:w.Suite.entry in
+  Persist.Aot.save path r.Cms_analysis.Aotgen.image;
+  Fmt.pr "%a@." Cms_analysis.Aotgen.pp_result r;
+  if verbose then
+    List.iter
+      (fun (d : Cms_analysis.Aotgen.demotion) ->
+        Fmt.pr "  demoted %#x: %s@." d.Cms_analysis.Aotgen.leader
+          d.Cms_analysis.Aotgen.why)
+      r.Cms_analysis.Aotgen.demotions;
+  let size =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    close_in ic;
+    n
+  in
+  Fmt.pr "aot image: %s (%d bytes)@." path size;
+  `Ok ()
+
+let do_aot_run ~stats ~verbose ~check ~cfg w path =
+  match Persist.Aot.load path with
+  | exception Persist.Codec.Corrupt msg ->
+      `Error (false, Fmt.str "cannot load AOT image %s: %s" path msg)
+  | exception Sys_error msg -> `Error (false, "cannot load AOT image: " ^ msg)
+  | img -> (
+      let t = Suite.prepare ~cfg w in
+      match Persist.Aot.install t img with
+      | exception Persist.Aot.Stale msg ->
+          `Error (false, Fmt.str "stale AOT image %s: %s" path msg)
+      | rep ->
+          Fmt.pr "%a@." Persist.Aot.pp_report rep;
+          if verbose then
+            List.iter
+              (fun (entry, why) -> Fmt.pr "  rejected %#x: %s@." entry why)
+              rep.Persist.Aot.rejected;
+          let t = Suite.run_prepared w t in
+          report ~stats ~verbose w t;
+          if stats || verbose then
+            Fmt.pr "aot: %a@." Cms.Stats.pp_aot (Cms.stats t);
+          if not check then `Ok ()
+          else begin
+            (* differential gate: the same workload cold, same config,
+               no image.  Deterministic workloads must be bit-identical
+               architecturally; timer-driven ones are compared by their
+               checksum — interrupt delivery lands on consistent exits
+               (§3.3) and AOT regions tile the code differently than
+               profile-guided dynamic ones. *)
+            let cold = Suite.run ~cfg w in
+            if w.Suite.uses_timer then
+              if Cms.gpr t X86.Regs.eax <> Cms.gpr cold X86.Regs.eax then
+                `Error (false, "aot-check FAILED: checksum diverged")
+              else begin
+                Fmt.pr
+                  "aot-check: PASS (checksum %#x matches cold run; \
+                   timer-driven, memory not compared)@."
+                  (Cms.gpr t X86.Regs.eax);
+                `Ok ()
+              end
+            else
+              let warm_arch =
+                Persist.Digests.arch_hex (Persist.Digests.arch t)
+              in
+              let cold_arch =
+                Persist.Digests.arch_hex (Persist.Digests.arch cold)
+              in
+              if warm_arch <> cold_arch then
+                `Error
+                  ( false,
+                    Fmt.str
+                      "aot-check FAILED: arch digest diverged (aot %s, cold %s)"
+                      warm_arch cold_arch )
+              else if Cms.gpr t X86.Regs.eax <> Cms.gpr cold X86.Regs.eax then
+                `Error (false, "aot-check FAILED: checksum diverged")
+              else begin
+                Fmt.pr "aot-check: PASS (arch %s bit-identical to cold run)@."
+                  warm_arch;
+                `Ok ()
+              end
+          end)
+
 let do_soak ~cfg w every =
   let r =
     Persist.Soak.drill
@@ -106,7 +187,8 @@ let do_soak ~cfg w every =
 
 let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
     no_groups no_stylized force_selfcheck interp_only no_fast_paths threshold
-    max_region stats record replay soak soak_every verbose =
+    max_region stats record replay soak soak_every aot_build aot aot_check
+    verbose =
   if list_only then begin
     List.iter (fun w -> Fmt.pr "%s@." w.Suite.name) (all_workloads ());
     `Ok ()
@@ -133,17 +215,27 @@ let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
             max_region_insns = max_region;
           }
         in
-        match (record, replay, soak) with
-        | Some path, None, false -> do_record ~stats ~verbose ~cfg w path
-        | None, Some path, false -> do_replay ~stats ~verbose w path
-        | None, None, true -> do_soak ~cfg w soak_every
-        | None, None, false ->
-            let t = Suite.run ~cfg w in
-            report ~stats ~verbose w t;
-            `Ok ()
+        match (record, replay, soak, aot_build, aot) with
+        | Some path, None, false, None, None ->
+            do_record ~stats ~verbose ~cfg w path
+        | None, Some path, false, None, None -> do_replay ~stats ~verbose w path
+        | None, None, true, None, None -> do_soak ~cfg w soak_every
+        | None, None, false, Some path, None -> do_aot_build ~verbose ~cfg w path
+        | None, None, false, None, Some path ->
+            do_aot_run ~stats ~verbose ~check:aot_check ~cfg w path
+        | None, None, false, None, None ->
+            if aot_check then
+              `Error (false, "--aot-check requires --aot IMAGE")
+            else begin
+              let t = Suite.run ~cfg w in
+              report ~stats ~verbose w t;
+              `Ok ()
+            end
         | _ ->
             `Error
-              (false, "--record, --replay and --soak are mutually exclusive")
+              ( false,
+                "--record, --replay, --soak, --aot-build and --aot are \
+                 mutually exclusive" )
 
 open Cmdliner
 
@@ -210,6 +302,28 @@ let soak_every =
        & info [ "soak-every" ] ~docv:"N"
            ~doc:"Soak segment length in retired instructions.")
 
+let aot_build_arg =
+  Arg.(value & opt (some string) None
+       & info [ "aot-build" ] ~docv:"FILE"
+           ~doc:"Statically discover the workload's code (recursive descent \
+                 from the entry point), pre-translate every discovered region \
+                 under the mandatory verifier and write the ahead-of-time \
+                 translation image to $(docv).  The workload is not run.")
+
+let aot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "aot" ] ~docv:"FILE"
+           ~doc:"Boot the workload from the ahead-of-time translation image \
+                 $(docv): installed translations are validated copy-on-boot \
+                 against the live memory and the image's code-page digests; \
+                 a stale image is refused with a diagnostic.")
+
+let aot_check =
+  flag [ "aot-check" ]
+    "With --aot: also run the workload cold (no image) under the same \
+     configuration and require a bit-identical architectural digest; exits \
+     nonzero on divergence."
+
 let verbose = flag [ "v"; "verbose" ] "Print detailed statistics."
 
 let cmd =
@@ -221,6 +335,7 @@ let cmd =
         (const run_cmd $ workload_arg $ list_only $ no_reorder $ no_alias $ no_fg
        $ no_chain $ no_reval $ no_groups $ no_stylized $ force_selfcheck
        $ interp_only $ no_fast_paths $ threshold $ max_region $ stats_flag
-       $ record_arg $ replay_arg $ soak_flag $ soak_every $ verbose))
+       $ record_arg $ replay_arg $ soak_flag $ soak_every $ aot_build_arg
+       $ aot_arg $ aot_check $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -14,7 +14,59 @@ let all_workloads () =
   @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
   @ [ Workloads.Progs_quake.blt_driver () ]
 
-let run_cmd name json threshold force_selfcheck =
+(* Sweep every pre-minted translation in an AOT image through the
+   static verifier — the offline counterpart of the build-time mandatory
+   check, usable on an image produced elsewhere (or tampered with). *)
+let verify_aot json path =
+  match Cms_persist.Aot.load path with
+  | exception Cms_persist.Codec.Corrupt msg ->
+      `Error (false, Fmt.str "cannot load AOT image %s: %s" path msg)
+  | exception Sys_error msg -> `Error (false, "cannot load AOT image: " ^ msg)
+  | img ->
+      let cfg = img.Cms_persist.Aot.cfg in
+      let diags = ref [] in
+      List.iter
+        (fun (t : Cms_persist.Aot.tran) ->
+          let ds =
+            Cms_analysis.Tverify.verify ~cfg ~entry:t.Cms_persist.Aot.tentry
+              ~ninsns:(List.length t.Cms_persist.Aot.insns)
+              t.Cms_persist.Aot.code
+          in
+          diags := !diags @ ds)
+        img.Cms_persist.Aot.trans;
+      let diags = !diags in
+      let violations = List.length diags in
+      let ntrans = List.length img.Cms_persist.Aot.trans in
+      if json then begin
+        let counts =
+          Cms_analysis.Pipeline.rule_counts diags
+          |> List.map (fun (r, _, _, n) -> Fmt.str "\"%s\":%d" r n)
+          |> String.concat ","
+        in
+        let ds =
+          List.map Cms_analysis.Diag.to_json diags |> String.concat ","
+        in
+        Fmt.pr
+          "{\"image\":\"%s\",\"label\":\"%s\",\"translations\":%d,\
+           \"violations\":%d,\"rules\":{%s},\"diags\":[%s]}@."
+          (String.escaped path)
+          (String.escaped img.Cms_persist.Aot.meta.Cms_persist.Aot.label)
+          ntrans violations counts ds
+      end
+      else begin
+        Fmt.pr "aot image %s (%s): %d translations@." path
+          img.Cms_persist.Aot.meta.Cms_persist.Aot.label ntrans;
+        Fmt.pr "@.%a@." Cms_analysis.Pipeline.pp_table diags;
+        Fmt.pr "%d violations@." violations;
+        List.iter (fun d -> Fmt.pr "  %a@." Cms_analysis.Diag.pp d) diags
+      end;
+      if violations > 0 then exit 1;
+      `Ok ()
+
+let run_cmd name json threshold force_selfcheck aot =
+  match aot with
+  | Some path -> verify_aot json path
+  | None ->
   let wl =
     match name with
     | None -> all_workloads ()
@@ -99,10 +151,22 @@ let force_selfcheck =
         ~doc:"Make every translation self-checking (exercises the \
               alias-guard rules everywhere).")
 
+let aot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "aot" ] ~docv:"FILE"
+        ~doc:"Instead of running the suite, sweep every pre-minted \
+              translation in the ahead-of-time image $(docv) through the \
+              verifier; per-rule results honor $(b,--json).")
+
 let cmd =
   let doc = "statically verify every translation the suite produces" in
   Cmd.v
     (Cmd.info "cmsverify" ~doc)
-    Term.(ret (const run_cmd $ workload_arg $ json $ threshold $ force_selfcheck))
+    Term.(
+      ret
+        (const run_cmd $ workload_arg $ json $ threshold $ force_selfcheck
+       $ aot_arg))
 
 let () = exit (Cmd.eval cmd)

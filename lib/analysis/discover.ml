@@ -1,0 +1,270 @@
+(** Static whole-image code discovery (recursive descent).
+
+    Starting from the entry point, decode with {!X86.Decode} and follow
+    every control edge that can be resolved statically: fallthrough,
+    direct jumps, both arms of conditional branches, direct call targets
+    and their return points.  Everything the walk cannot prove is
+    *classified*, never guessed:
+
+    - indirect jumps/calls and [int] vectors defer their targets to the
+      dynamic tier (a {!site} records each, with the reason);
+    - a decode fault ends the path and defers the address;
+    - pages that a statically-resolvable store provably writes are
+      demoted wholesale to dynamic-only ([smc_pages]) — pre-minting
+      translations for write-reachable code would just bounce off the
+      runtime SMC machinery, and stores through registers are counted
+      ([blind_stores]) so reports stay honest about what the analysis
+      could not see.  Runtime SMC invalidation remains the safety net
+      for everything the static scan misses.
+
+    The walk is deterministic (FIFO worklist, sorted outputs), so the
+    same image always yields the same discovery — a property the AOT
+    image round-trip tests pin. *)
+
+type reason =
+  | Indirect_jump  (** [jmp r/m]: target unresolvable *)
+  | Indirect_call  (** [call r/m]: callee unresolvable *)
+  | Int_vector  (** software interrupt: handler found via the IDT *)
+  | Decode_fault  (** undecodable bytes (or a fetch outside the image) *)
+  | Smc_page  (** leader on a page demoted as write-reachable *)
+
+let reason_name = function
+  | Indirect_jump -> "indirect-jump"
+  | Indirect_call -> "indirect-call"
+  | Int_vector -> "int-vector"
+  | Decode_fault -> "decode-fault"
+  | Smc_page -> "smc-page"
+
+type site = { addr : int; why : reason }
+
+(** One straight-line decode run: [start, stop) with [insns]
+    instructions.  Runs from distinct leaders may overlap (overlapping
+    decode starts are kept, not reconciled — the tcache tolerates
+    overlapping translations). *)
+type block = { start : int; stop : int; insns : int }
+
+type t = {
+  entry : int;
+  leaders : int list;  (** every discovered region entry, sorted *)
+  blocks : block list;  (** sorted by start address *)
+  deferred : site list;  (** dynamic-only sites, sorted by address *)
+  code_pages : int list;  (** ppns holding any discovered code byte *)
+  smc_pages : int list;  (** pages demoted as write-reachable *)
+  bytes_static : int;  (** discovered code bytes off [smc_pages] *)
+  bytes_deferred : int;  (** discovered code bytes on [smc_pages] *)
+  insn_count : int;  (** distinct decoded instruction starts *)
+  blind_stores : int;
+      (** stores through registers the scan could not resolve *)
+  truncated : bool;  (** the instruction budget cut the walk short *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Store-target resolution (conservative SMC classification)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The memory operand an instruction writes, if any. *)
+let store_dest (i : X86.Insn.t) : (X86.Insn.mem * X86.Insn.size) option =
+  let open X86.Insn in
+  let dest_of_ops sz = function
+    | RM_R (M m, _) | RM_I (M m, _) -> Some (m, sz)
+    | RM_R (R _, _) | RM_I (R _, _) | R_RM _ -> None
+  in
+  match i with
+  | Arith (Cmp, _, _) | Test _ -> None
+  | Arith (_, sz, ops) -> dest_of_ops sz ops
+  | Mov (sz, ops) -> dest_of_ops sz ops
+  | Xchg (sz, M m, _) -> Some (m, sz)
+  | Inc (sz, M m) | Dec (sz, M m) | Not (sz, M m) | Neg (sz, M m) ->
+      Some (m, sz)
+  | Shift (_, sz, M m, _) -> Some (m, sz)
+  | Setcc (_, M m) -> Some (m, S8)
+  | Pop (M m) -> Some (m, S32)
+  | _ -> None
+
+(* Writes whose target is not statically resolvable: through-register
+   memory destinations, string stores, and the stack engine. *)
+let is_blind_store (i : X86.Insn.t) =
+  let open X86.Insn in
+  match store_dest i with
+  | Some ({ base = Some _; _ }, _) | Some ({ index = Some _; _ }, _) -> true
+  | Some _ -> false
+  | None -> (
+      match i with
+      | Strop { op = Stos; _ } | Strop { op = Movs; _ } -> true
+      | Push _ | Call _ | CallInd _ -> true  (* stack stores *)
+      | _ -> false)
+
+(* Absolute [lo, hi) range of a statically-resolved store, if any. *)
+let resolved_store_range (i : X86.Insn.t) =
+  match store_dest i with
+  | Some ({ X86.Insn.base = None; index = None; disp }, sz) ->
+      let len = match sz with X86.Insn.S8 -> 1 | S32 -> 4 in
+      Some (disp, disp + len)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The walk                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let page ppn_addr = ppn_addr lsr Machine.Mmu.page_shift
+
+(** Discover code reachable from [entry].  [fetch] reads one image
+    byte and raises {!X86.Exn.Fault} outside the image; [max_insns]
+    bounds the walk (a garbage image cannot run it away). *)
+let discover ?(max_insns = 65536) ~fetch ~entry () =
+  let visited : (int, X86.Insn.t * int) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let leaders : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let deferred : (int, reason) Hashtbl.t = Hashtbl.create 32 in
+  let blocks = ref [] in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let defer a why =
+    if not (Hashtbl.mem deferred a) then Hashtbl.add deferred a why
+  in
+  let add_leader a =
+    let a = a land 0xffffffff in
+    if not (Hashtbl.mem leaders a) then begin
+      Hashtbl.add leaders a ();
+      Queue.add a queue
+    end
+  in
+  add_leader entry;
+  while not (Queue.is_empty queue) do
+    let start = Queue.pop queue in
+    (* Decode linearly until an unconditional transfer, a revisit of an
+       already-decoded start, or the budget.  Conditional branches and
+       direct calls enqueue their targets as fresh leaders. *)
+    let rec walk pc ninsns =
+      if Hashtbl.mem visited pc then pc  (* falls into discovered code *)
+      else if Hashtbl.length visited >= max_insns then begin
+        truncated := true;
+        pc
+      end
+      else
+        match X86.Decode.decode ~fetch pc with
+        | exception X86.Exn.Fault _ ->
+            defer pc Decode_fault;
+            pc
+        | f -> (
+            let insn = f.X86.Decode.insn in
+            Hashtbl.add visited pc (insn, f.X86.Decode.len);
+            let next = (pc + f.X86.Decode.len) land 0xffffffff in
+            match insn with
+            | X86.Insn.Jcc (_, target) ->
+                add_leader target;
+                walk next (ninsns + 1)
+            | X86.Insn.Jmp target ->
+                add_leader target;
+                next
+            | X86.Insn.Call target ->
+                add_leader target;
+                (* the return point is reached when the callee returns *)
+                add_leader next;
+                next
+            | X86.Insn.CallInd _ ->
+                defer pc Indirect_call;
+                add_leader next;
+                next
+            | X86.Insn.JmpInd _ ->
+                defer pc Indirect_jump;
+                next
+            | X86.Insn.Int _ | X86.Insn.Int3 ->
+                (* handler via the IDT: dynamic-only; execution resumes
+                   after the int on iret *)
+                defer pc Int_vector;
+                add_leader next;
+                next
+            | X86.Insn.Ret _ | X86.Insn.Iret ->
+                (* return targets of discovered calls are already
+                   leaders; anything else (a pushed computed address)
+                   is the dynamic tier's problem *)
+                next
+            | X86.Insn.Hlt -> next
+            | _ -> walk next (ninsns + 1))
+    in
+    let stop = walk start 0 in
+    if stop > start then
+      blocks := { start; stop; insns = 0 } :: !blocks
+  done;
+  (* Per-instruction byte spans, and the pages they land on. *)
+  let code_pages = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun a (_, len) ->
+      for p = page a to page (a + len - 1) do
+        Hashtbl.replace code_pages p ()
+      done)
+    visited;
+  (* Conservative SMC classification: a store whose absolute target is
+     statically known and overlaps a discovered code page demotes that
+     page to dynamic-only. *)
+  let smc_pages = Hashtbl.create 4 in
+  let blind = ref 0 in
+  Hashtbl.iter
+    (fun _ (insn, _) ->
+      if is_blind_store insn then incr blind;
+      match resolved_store_range insn with
+      | Some (lo, hi) ->
+          for p = page lo to page (hi - 1) do
+            if Hashtbl.mem code_pages p then Hashtbl.replace smc_pages p ()
+          done
+      | None -> ())
+    visited;
+  let on_smc_page a len =
+    let rec go p = p <= page (a + len - 1) && (Hashtbl.mem smc_pages p || go (p + 1)) in
+    go (page a)
+  in
+  let bytes_static = ref 0 and bytes_deferred = ref 0 in
+  Hashtbl.iter
+    (fun a (_, len) ->
+      if on_smc_page a len then bytes_deferred := !bytes_deferred + len
+      else bytes_static := !bytes_static + len)
+    visited;
+  (* Leaders landing on demoted pages are themselves deferred. *)
+  Hashtbl.iter
+    (fun a () -> if Hashtbl.mem smc_pages (page a) then defer a Smc_page)
+    leaders;
+  let sorted_keys tbl =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+  in
+  let blocks =
+    List.sort compare !blocks
+    |> List.map (fun b ->
+           let n = ref 0 in
+           Hashtbl.iter
+             (fun a _ -> if a >= b.start && a < b.stop then incr n)
+             visited;
+           { b with insns = !n })
+  in
+  {
+    entry;
+    leaders = sorted_keys leaders;
+    blocks;
+    deferred =
+      Hashtbl.fold (fun addr why acc -> { addr; why } :: acc) deferred []
+      |> List.sort compare;
+    code_pages = sorted_keys code_pages;
+    smc_pages = sorted_keys smc_pages;
+    bytes_static = !bytes_static;
+    bytes_deferred = !bytes_deferred;
+    insn_count = Hashtbl.length visited;
+    blind_stores = !blind;
+    truncated = !truncated;
+  }
+
+(** Leaders the AOT pass may pre-translate: not on a write-reachable
+    page (the rest stay dynamic-only by construction). *)
+let static_leaders t =
+  let smc = t.smc_pages in
+  List.filter (fun a -> not (List.mem (page a) smc)) t.leaders
+
+let pp fmt t =
+  Fmt.pf fmt
+    "discovery: entry=%#x leaders=%d blocks=%d insns=%d bytes[static=%d \
+     deferred=%d] pages[code=%d smc=%d] deferred-sites=%d blind-stores=%d%s"
+    t.entry (List.length t.leaders) (List.length t.blocks) t.insn_count
+    t.bytes_static t.bytes_deferred
+    (List.length t.code_pages) (List.length t.smc_pages)
+    (List.length t.deferred) t.blind_stores
+    (if t.truncated then " (truncated)" else "")

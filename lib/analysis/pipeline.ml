@@ -40,6 +40,17 @@ let install_collect f = Cms.Codegen.verify_hook := Some (verifier ~sink:f ())
 
 let uninstall () = Cms.Codegen.verify_hook := None
 
+(** Run [body] with the rejecting verifier installed, restoring the
+    previous hook after.  The AOT builder uses this so pre-minted
+    translations are always verified mandatorily, even when the ambient
+    hook is a collecting one (e.g. under the fuzzer's oracles). *)
+let with_reject body =
+  let saved = !Cms.Codegen.verify_hook in
+  install ();
+  Fun.protect
+    ~finally:(fun () -> Cms.Codegen.verify_hook := saved)
+    body
+
 (** Run [body] with a collecting verifier installed; returns its result
     and the diagnostics gathered, restoring the previous hook. *)
 let with_collect body =

@@ -191,6 +191,25 @@ let translate t entry =
         | _ -> ());
         None
 
+(** Install a pre-minted translation from an AOT image.  The caller
+    (the persist layer's image loader) has already validated the code
+    bytes against the image snapshot; here it only takes its place in
+    the tcache and under SMC protection, exactly like a dynamic
+    translation — crucially *without* the per-instruction translate
+    charge, which is the whole cold-start payoff.  Returns [false]
+    (and installs nothing) if the entry already has a live translation. *)
+let aot_install t ~entry ~code ~region ~policy ~snapshot =
+  match Tcache.lookup t.tcache entry with
+  | Some _ -> false
+  | None ->
+      let tr =
+        Tcache.insert ~aot:true t.tcache ~entry ~code ~region ~policy
+          ~snapshot:(Some snapshot)
+      in
+      Smc.register t.smc tr;
+      t.stats.Stats.aot_loaded <- t.stats.Stats.aot_loaded + 1;
+      true
+
 (* ------------------------------------------------------------------ *)
 (* Recovery (§3.2)                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -353,7 +372,10 @@ let run_translation t (tr : Tcache.trans) =
     end;
   if tr.Tcache.valid then begin
     tr.Tcache.execs <- tr.Tcache.execs + 1;
-    match
+    let aot_before =
+      if tr.Tcache.aot then (perf t).Vliw.Perf.x86_committed else 0
+    in
+    (match
       match t.chaos with
       | Some c -> (
           (* injected native fault: the state is still at the commit
@@ -408,7 +430,13 @@ let run_translation t (tr : Tcache.trans) =
            here would deliver an interrupt the guest has masked. *)
         if Cpu.irq_deliverable t.cpu then deliver_irq t
     | Vliw.Exec.Runaway ->
-        raise (Cpu.Panic "translation exceeded molecule budget")
+        raise (Cpu.Panic "translation exceeded molecule budget"));
+    if tr.Tcache.aot then begin
+      t.stats.Stats.aot_hits <- t.stats.Stats.aot_hits + 1;
+      t.stats.Stats.aot_x86_retired <-
+        t.stats.Stats.aot_x86_retired
+        + ((perf t).Vliw.Perf.x86_committed - aot_before)
+    end
   end
 
 (* Can any device still wake a halted CPU? *)

@@ -96,12 +96,16 @@ let register t (tr : Tcache.trans) =
 let invalidate t (tr : Tcache.trans) ~keep_in_group =
   Tcache.invalidate t.tcache tr ~keep_in_group;
   t.stats.Stats.invalidations <- t.stats.Stats.invalidations + 1;
+  if tr.Tcache.aot then
+    t.stats.Stats.aot_invalidated <- t.stats.Stats.aot_invalidated + 1;
   List.iter (fun ppn -> refresh_page t ~ppn) (pages_of tr)
 
 (** A translation was discarded by tcache eviction (capacity pressure,
     not an SMC event): re-derive the protection its pages still need
     from the translations that survived. *)
 let note_evicted t (tr : Tcache.trans) =
+  if tr.Tcache.aot then
+    t.stats.Stats.aot_invalidated <- t.stats.Stats.aot_invalidated + 1;
   List.iter (fun ppn -> refresh_page t ~ppn) (pages_of tr)
 
 (* ------------------------------------------------------------------ *)

@@ -59,6 +59,17 @@ type t = {
   mutable journal_events : int;
       (** journal events recorded or replayed into this engine *)
   mutable resumes : int;  (** times this state was restored from an image *)
+  (* --- ahead-of-time translation images (static discovery + AOT) --- *)
+  mutable aot_loaded : int;  (** translations installed from an AOT image *)
+  mutable aot_rejected : int;
+      (** image entries refused at install (code bytes diverged from the
+          snapshot, or an entry already had a live translation) *)
+  mutable aot_hits : int;  (** dispatches served by an AOT translation *)
+  mutable aot_x86_retired : int;
+      (** x86 instructions retired inside AOT-minted translations *)
+  mutable aot_invalidated : int;
+      (** AOT translations invalidated (SMC) or evicted at runtime;
+          re-translation of those entries falls to the dynamic tier *)
 }
 
 let create () =
@@ -104,6 +115,11 @@ let create () =
     snapshot_bytes = 0;
     journal_events = 0;
     resumes = 0;
+    aot_loaded = 0;
+    aot_rejected = 0;
+    aot_hits = 0;
+    aot_x86_retired = 0;
+    aot_invalidated = 0;
   }
 
 let charge t m = t.charged_molecules <- t.charged_molecules + m
@@ -155,3 +171,12 @@ let pp_persist fmt t =
   Fmt.pf fmt
     "snapshots[written=%d bytes=%d] journal-events=%d resumes=%d"
     t.snapshots_written t.snapshot_bytes t.journal_events t.resumes
+
+(** AOT counters: what the static pass shipped and how much of the run
+    it actually carried (AOT hits vs dynamic retranslations). *)
+let pp_aot fmt t =
+  Fmt.pf fmt
+    "aot[loaded=%d rejected=%d inval=%d] hits[aot=%d] x86-from-aot=%d \
+     dynamic-translations=%d"
+    t.aot_loaded t.aot_rejected t.aot_invalidated t.aot_hits
+    t.aot_x86_retired t.translations

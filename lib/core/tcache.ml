@@ -38,6 +38,11 @@ type trans = {
   unprotected : bool;
       (** self-checking translation guarded by the alias hardware; its
           pages need no write protection (§3.6.3) *)
+  aot : bool;
+      (** minted by the static ahead-of-time pass and installed from a
+          translation image at boot; invalidation and eviction treat it
+          exactly like a dynamic translation, only the accounting
+          differs *)
 }
 
 type t = {
@@ -230,7 +235,8 @@ let invalidate t tr ~keep_in_group =
 (** Insert a new translation; returns it.  Replaces any current
     translation for the same entry (the old one is parked in the
     group). *)
-let insert ?(unprotected = false) t ~entry ~code ~region ~policy ~snapshot =
+let insert ?(unprotected = false) ?(aot = false) t ~entry ~code ~region ~policy
+    ~snapshot =
   ensure_room t;
   (match Hashtbl.find_opt t.by_entry entry with
   | Some cur when cur.valid -> invalidate t cur ~keep_in_group:true
@@ -251,6 +257,7 @@ let insert ?(unprotected = false) t ~entry ~code ~region ~policy ~snapshot =
       smc_false = 0;
       reval_armed = false;
       unprotected;
+      aot;
     }
   in
   t.next_id <- t.next_id + 1;

@@ -77,6 +77,14 @@ let run ?(progress = fun _ _ -> ()) ?out_dir ?forensics
             let name = Fmt.str "seed%d-case%d" seed index in
             let rmin = Oracle.render ~max_insns ?chaos:chaos_seed minimized in
             let rec_ = Oracle.record ~checkpoint_every:10_000 ~label:name rmin in
+            (* an AOT-oracle divergence is only debuggable with the
+               image that produced it: bundle its serialized bytes *)
+            let aot =
+              if
+                String.length reason >= 3 && String.sub reason 0 3 = "aot"
+              then Oracle.aot_image_bytes rmin
+              else None
+            in
             ignore
               (Cms_persist.Forensics.dump ~dir ~name ~reason
                  ?snapshot:rec_.Oracle.final_image
@@ -84,7 +92,7 @@ let run ?(progress = fun _ _ -> ()) ?out_dir ?forensics
                  ~case_text:
                    (Corpus.write_string rmin ~seed
                       ~comment:[ Fmt.str "divergence: %s" reason ])
-                 ()));
+                 ?aot ()));
         divergences := { index; reason; minimized; saved } :: !divergences);
     progress index verdict
   done;

@@ -1,11 +1,16 @@
 (** Multi-oracle differential executor.
 
-    Each case runs under three configurations:
+    Each case runs under four configurations:
 
     - {b A} interpreter-only (reference semantics),
     - {b B} full translator with the static verifier armed,
     - {b C} translator with host fast paths (software TLB, decode
-      cache, RAM fast path) disabled, verifier armed.
+      cache, RAM fast path) disabled, verifier armed,
+    - {b D} translator booted from an ahead-of-time translation image
+      built for the case, round-tripped through the stable codec and
+      installed copy-on-validate ({!Cms_persist.Aot}) — AOT-warm vs
+      AOT-off must agree architecturally (strict digests legitimately
+      differ: translation counts do).
 
     Correctness claims checked:
 
@@ -148,6 +153,43 @@ let run_config ?chaos cfg (r : rendered) : outcome =
   fst (execute ~cfg ~setup r)
 
 (* ------------------------------------------------------------------ *)
+(* AOT oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Build an ahead-of-time image from a pristine (booted, never run)
+   machine for this case.  Deterministic: the same rendered case always
+   yields byte-identical image contents. *)
+let aot_image (r : rendered) =
+  let c = Cms.create ~cfg:cfg_translate ~ram_size () in
+  Cms.load c r.listing;
+  Cms.boot c ~entry:r.entry;
+  (Cms_analysis.Aotgen.build ~label:"fuzz case" c ~entry:r.entry)
+    .Cms_analysis.Aotgen.image
+
+(** The serialized AOT image for a case, for forensics bundles; [None]
+    when the build itself crashes (which the oracle reports its own
+    way). *)
+let aot_image_bytes (r : rendered) =
+  match aot_image r with
+  | img -> Some (Cms_persist.Aot.to_string img)
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception _ -> None
+
+(* Oracle D: build the image, round-trip it through the stable codec
+   (the persistence path is under test, not just the translations),
+   install it on a fresh machine and run the translator from the warm
+   cache. *)
+let run_config_aot (r : rendered) : outcome =
+  let img =
+    Cms_persist.Aot.of_string (Cms_persist.Aot.to_string (aot_image r))
+  in
+  let setup c =
+    ignore (Cms_persist.Aot.install c img : Cms_persist.Aot.install_report);
+    Inject.install c r.events
+  in
+  fst (execute ~cfg:cfg_translate ~setup r)
+
+(* ------------------------------------------------------------------ *)
 (* Verdict                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -161,34 +203,55 @@ let stop_name = function
   | Limit -> "insn-limit"
   | Crash m -> "crash:" ^ m
 
-(* The clean three-oracle differential (no injection). *)
+(* The clean four-oracle differential (no injection). *)
 let check_clean (r : rendered) : verdict =
   let a = run_config cfg_interp r in
   let b = run_config cfg_translate r in
   let c = run_config cfg_nofast r in
-  let crash = List.exists (fun o -> match o.stop with Crash _ -> true | _ -> false) in
-  if crash [ a; b; c ] then
-    Divergence
-      (Fmt.str "crash (interp=%s translator=%s nofast=%s)" (stop_name a.stop)
-         (stop_name b.stop) (stop_name c.stop))
-  else if a.stop = Limit && b.stop = Limit && c.stop = Limit then Hang
-  else if a.stop <> b.stop || b.stop <> c.stop then
-    Divergence
-      (Fmt.str "stop mismatch (interp=%s translator=%s nofast=%s)"
-         (stop_name a.stop) (stop_name b.stop) (stop_name c.stop))
-  else if b.ndiags > 0 || c.ndiags > 0 then
-    Divergence
-      (Fmt.str "verifier diagnostics (translator=%d nofast=%d)" b.ndiags
-         c.ndiags)
-  else if a.arch <> b.arch then
-    Divergence
-      ("interpreter vs translator: " ^ arch_diff a.arch b.arch)
-  else if a.arch <> c.arch then
-    Divergence
-      ("interpreter vs fast-paths-off: " ^ arch_diff a.arch c.arch)
-  else if b.strict <> c.strict then
-    Divergence "strict digest: fast paths on vs off"
-  else Pass
+  match run_config_aot r with
+  | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+  | exception e ->
+      (* the build/serialize/install harness itself must never throw —
+         a per-region failure demotes, a stale image raises only when
+         memory actually changed, and neither can happen here *)
+      Divergence ("aot harness crash: " ^ Printexc.to_string e)
+  | d ->
+      let crash =
+        List.exists (fun o -> match o.stop with Crash _ -> true | _ -> false)
+      in
+      if crash [ a; b; c; d ] then
+        Divergence
+          (Fmt.str "crash (interp=%s translator=%s nofast=%s aot=%s)"
+             (stop_name a.stop) (stop_name b.stop) (stop_name c.stop)
+             (stop_name d.stop))
+      else if
+        a.stop = Limit && b.stop = Limit && c.stop = Limit && d.stop = Limit
+      then Hang
+      else if a.stop <> b.stop || b.stop <> c.stop then
+        Divergence
+          (Fmt.str "stop mismatch (interp=%s translator=%s nofast=%s)"
+             (stop_name a.stop) (stop_name b.stop) (stop_name c.stop))
+      else if a.stop <> d.stop then
+        Divergence
+          (Fmt.str "aot stop mismatch (interp=%s aot=%s)" (stop_name a.stop)
+             (stop_name d.stop))
+      else if b.ndiags > 0 || c.ndiags > 0 then
+        Divergence
+          (Fmt.str "verifier diagnostics (translator=%d nofast=%d)" b.ndiags
+             c.ndiags)
+      else if d.ndiags > 0 then
+        Divergence (Fmt.str "aot verifier diagnostics (%d)" d.ndiags)
+      else if a.arch <> b.arch then
+        Divergence ("interpreter vs translator: " ^ arch_diff a.arch b.arch)
+      else if a.arch <> c.arch then
+        Divergence ("interpreter vs fast-paths-off: " ^ arch_diff a.arch c.arch)
+      else if a.arch <> d.arch then
+        (* AOT-warm vs AOT-off: strict digests differ by design
+           (translation counts do), the architectural state must not *)
+        Divergence ("aot: interpreter vs aot-warm: " ^ arch_diff a.arch d.arch)
+      else if b.strict <> c.strict then
+        Divergence "strict digest: fast paths on vs off"
+      else Pass
 
 (* The chaos run's configuration and injector, derived from the seed.
    The split order is load-bearing: it fixes the byte-for-byte RNG

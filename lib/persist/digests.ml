@@ -122,6 +122,11 @@ let normalized_stats (s : Cms.Stats.t) =
     snapshot_bytes = 0;
     journal_events = 0;
     resumes = 0;
+    aot_loaded = 0;
+    aot_rejected = 0;
+    aot_hits = 0;
+    aot_x86_retired = 0;
+    aot_invalidated = 0;
   }
 
 (** The strict digest (see module doc). *)

@@ -16,10 +16,12 @@ let write path data = Codec.write_file path data
     written.  [snapshot] is the final-state image (when the machine died
     at a consistent boundary), [checkpoint] the last periodic
     checkpoint image, [journal] the recorded event journal, [case_text]
-    the fuzzer case listing, and [engine] the machine to summarize
-    counters from. *)
+    the fuzzer case listing, [aot] the serialized ahead-of-time
+    translation image (for AOT-oracle divergences — replayable with
+    [cmsverify --aot]), and [engine] the machine to summarize counters
+    from. *)
 let dump ~dir ~name ~reason ?snapshot ?checkpoint ?(journal : Journal.t option)
-    ?case_text ?(engine : Cms.t option) () : dump =
+    ?case_text ?aot ?(engine : Cms.t option) () : dump =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let path ext = Filename.concat dir (name ^ ext) in
   let artifacts = ref [] in
@@ -36,6 +38,7 @@ let dump ~dir ~name ~reason ?snapshot ?checkpoint ?(journal : Journal.t option)
   | Some j -> art "journal" ".journal" (Journal.to_string j)
   | None -> ());
   (match case_text with Some t -> art "case" ".case" t | None -> ());
+  (match aot with Some img -> art "aot-image" ".aot" img | None -> ());
   let report = path ".txt" in
   let b = Buffer.create 1024 in
   let pf fmt = Format.kasprintf (Buffer.add_string b) fmt in

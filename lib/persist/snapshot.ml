@@ -34,7 +34,8 @@ type meta = {
 exception Inconsistent of string
 (** attempted capture away from a commit boundary *)
 
-let version = 1
+(* version 2: the embedded Stats record grew the AOT counters *)
+let version = 2
 let kind = "SNAP"
 
 let consistent (c : Cms.t) =

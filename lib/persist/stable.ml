@@ -175,7 +175,12 @@ let w_stats b (s : Cms.Stats.t) =
   Codec.w_int b s.snapshots_written;
   Codec.w_int b s.snapshot_bytes;
   Codec.w_int b s.journal_events;
-  Codec.w_int b s.resumes
+  Codec.w_int b s.resumes;
+  Codec.w_int b s.aot_loaded;
+  Codec.w_int b s.aot_rejected;
+  Codec.w_int b s.aot_hits;
+  Codec.w_int b s.aot_x86_retired;
+  Codec.w_int b s.aot_invalidated
 
 let r_stats_into r (s : Cms.Stats.t) =
   let open Cms.Stats in
@@ -219,7 +224,12 @@ let r_stats_into r (s : Cms.Stats.t) =
   s.snapshots_written <- Codec.r_int r;
   s.snapshot_bytes <- Codec.r_int r;
   s.journal_events <- Codec.r_int r;
-  s.resumes <- Codec.r_int r
+  s.resumes <- Codec.r_int r;
+  s.aot_loaded <- Codec.r_int r;
+  s.aot_rejected <- Codec.r_int r;
+  s.aot_hits <- Codec.r_int r;
+  s.aot_x86_retired <- Codec.r_int r;
+  s.aot_invalidated <- Codec.r_int r
 
 (* ------------------------------------------------------------------ *)
 (* Vliw.Perf                                                           *)

@@ -36,11 +36,12 @@ let prepare ?(cfg = Cms.Config.default) (w : t) =
   Cms.boot ~map_mib:4 t ~entry:w.entry;
   t
 
-(** Run a workload under [cfg]; returns the engine after the run.
+(** Run an already-prepared machine to completion and self-validate.
     Raises if the workload's self-check fails — experiment numbers from
-    broken runs are worthless. *)
-let run ?cfg (w : t) =
-  let t = prepare ?cfg w in
+    broken runs are worthless.  Split from [run] so harnesses that
+    instrument the machine between boot and first instruction (AOT
+    image install, record hooks) share the validation. *)
+let run_prepared (w : t) t =
   let stop = Cms.run ~max_insns:w.max_insns t in
   (match stop with
   | Cms.Engine.Halted -> ()
@@ -54,6 +55,9 @@ let run ?cfg (w : t) =
            (Cms.gpr t X86.Regs.eax))
   | _ -> ());
   t
+
+(** Run a workload under [cfg]; returns the engine after the run. *)
+let run ?cfg (w : t) = run_prepared w (prepare ?cfg w)
 
 (** Molecules-per-x86-instruction for a workload under a config. *)
 let mpi ?cfg w = Cms.mpi (run ?cfg w)

@@ -184,7 +184,9 @@ let test_snapshot_stability () =
   check Alcotest.string "label" "stability" meta.P.Snapshot.label;
   check Alcotest.int "retired clock" (Cms.retired c) meta.P.Snapshot.retired;
   let img2 = P.Snapshot.capture ~label:"stability" c' in
-  let secs img = P.Codec.read_container ~kind:"SNAP" ~version:1 img in
+  let secs img =
+    P.Codec.read_container ~kind:"SNAP" ~version:P.Snapshot.version img
+  in
   List.iter2
     (fun (tag1, pay1) (tag2, pay2) ->
       check Alcotest.string "section order" tag1 tag2;
