@@ -126,25 +126,30 @@ let run_micro () =
     results
 
 (* ------------------------------------------------------------------ *)
-(* Host fast-path wall-clock benchmark                                 *)
+(* Steady-state execution-ladder wall-clock benchmark                  *)
 (* ------------------------------------------------------------------ *)
 
-(* An interpreter-dominated hot loop (translation disabled) so the
-   three host caching layers — software TLB, decoded-instruction
-   cache, RAM fast path — are on the critical path of every
-   instruction.  The body is a copy/accumulate kernel — mostly loads
-   and stores, like memcpy or a checksum inner loop, which is exactly
-   the shape the TLB and RAM fast path exist for. *)
+(* One hot loop timed across the whole execution ladder, from the
+   slowest tier (pure interpreter, host caching layers off) to the
+   fastest (translated, closure-compiled, exits chained).  The body is
+   a copy/accumulate kernel — mostly loads and stores, like memcpy or
+   a checksum inner loop — so the software TLB / RAM fast path matter
+   in the interpreter tiers and the store buffer and alias checks
+   matter in the translated ones. *)
 let hotpath_listing ~iters =
   (* Body offsets come from the fuzzer's deterministic splittable RNG
-     (fixed seed, no global state), so every run — and both fast-path
-     modes — executes the identical access pattern while still touching
-     a spread of cache lines rather than a hand-picked handful. *)
+     (fixed seed, no global state), so every run — and every ladder
+     tier — executes the identical access pattern while still touching
+     a spread of cache lines rather than a hand-picked handful.  The
+     body is long enough (48 insns) that, under the short region cap
+     the translated tiers use, each iteration crosses several
+     translation boundaries: the exits between them are exactly what
+     chaining removes from the dispatcher. *)
   let rng = Cms_fuzz.Srng.create 0xbe7c4 in
   let off () = 0x8000 + (4 * Cms_fuzz.Srng.int rng 0x400) in
   let body =
     List.concat
-      (List.init 3 (fun _ ->
+      (List.init 12 (fun _ ->
            X86.Asm.
              [
                mov_rm eax (mbd esi (off ()));
@@ -157,14 +162,35 @@ let hotpath_listing ~iters =
     assemble ~base:0x1000
       ([ mov_ri ecx iters; label "l" ] @ body @ [ dec_r ecx; jne "l"; hlt ]))
 
-let hotpath_run ~fast ~iters =
-  let cfg =
-    {
-      Cms.Config.default with
-      Cms.Config.translate_threshold = max_int;
-      host_fast_paths = fast;
-    }
-  in
+(* The ladder, slowest first.  [translate = false] pins the
+   interpreter ([translate_threshold = max_int]); the translated tiers
+   use the default threshold so the loop reaches steady state almost
+   immediately. *)
+let hotpath_tiers =
+  [
+    ("interp, host caches off", false, false, false, false);
+    ("interp, host caches on", false, true, false, false);
+    ("translated, decoder tier", true, true, false, false);
+    ("closures, unchained", true, true, true, false);
+    ("closures, chained", true, true, true, true);
+  ]
+
+let hotpath_cfg ~translate ~fast ~closures ~chain =
+  {
+    Cms.Config.default with
+    Cms.Config.translate_threshold =
+      (if translate then Cms.Config.default.Cms.Config.translate_threshold
+       else max_int);
+    (* short regions so each loop iteration crosses several
+       translation exits; identical across all translated tiers, so
+       the ladder isolates the execution tier, not the region shape *)
+    max_region_insns = 16;
+    host_fast_paths = fast;
+    closure_exec = closures;
+    chain_exits = chain;
+  }
+
+let hotpath_run ~cfg ~iters =
   let c = Cms.create ~cfg () in
   Cms.load c (hotpath_listing ~iters);
   Cms.boot c ~entry:0x1000;
@@ -182,50 +208,121 @@ let best_of n f =
   done;
   (!best, Option.get !last)
 
+(* Time every tier of the ladder (best of [reps], after a warmup) and
+   cross-check that every tier retires the identical guest outcome.
+   Returns [(name, seconds, machine)] rows, slowest tier first. *)
+let hotpath_ladder ~iters ~reps =
+  let rows =
+    List.map
+      (fun (name, translate, fast, closures, chain) ->
+        let cfg = hotpath_cfg ~translate ~fast ~closures ~chain in
+        (* decorrelate the tiers' heap state: without this, a tier
+           inherits the previous tier's major heap and its timing
+           drifts by tens of percent *)
+        Gc.compact ();
+        ignore (hotpath_run ~cfg ~iters:1_000);
+        let dt, c = best_of reps (fun () -> hotpath_run ~cfg ~iters) in
+        (name, dt, c))
+      hotpath_tiers
+  in
+  (* every tier is observationally equivalent: identical guest
+     outcome; the translated tiers additionally charge the identical
+     cost model (closures and chain-following are invisible to it) *)
+  let guest (_, _, c) =
+    (Cms.retired c, Cms.gpr c X86.Regs.eax, Cms.eip c)
+  in
+  let base = List.hd rows in
+  List.iter
+    (fun row ->
+      if guest row <> guest base then begin
+        let name, _, _ = row in
+        Fmt.epr "hotpath: tier %S diverged from the interpreter baseline!@."
+          name;
+        exit 1
+      end)
+    rows;
+  (match List.filter (fun (_, tr, _, _, _) -> tr) hotpath_tiers with
+  | _ :: _ ->
+      let translated =
+        List.filteri (fun i _ -> i >= 2) rows
+        |> List.map (fun (n, _, c) -> (n, Cms.total_molecules c))
+      in
+      let _, m0 = List.hd translated in
+      List.iter
+        (fun (n, m) ->
+          if m <> m0 then begin
+            Fmt.epr "hotpath: tier %S changed the cost model (%d vs %d)!@." n m
+              m0;
+            exit 1
+          end)
+        translated
+  | [] -> ());
+  rows
+
 let run_hotpath ~json () =
   let iters = 200_000 in
-  ignore (hotpath_run ~fast:false ~iters:1_000);
-  ignore (hotpath_run ~fast:true ~iters:1_000);
-  let off, c_off = best_of 3 (fun () -> hotpath_run ~fast:false ~iters) in
-  let on, c_on = best_of 3 (fun () -> hotpath_run ~fast:true ~iters) in
-  (* the layers must be observationally invisible: identical guest
-     outcome and cost-model charges in both modes *)
-  if
-    (Cms.retired c_on, Cms.total_molecules c_on, Cms.gpr c_on X86.Regs.eax)
-    <> (Cms.retired c_off, Cms.total_molecules c_off, Cms.gpr c_off X86.Regs.eax)
-  then begin
-    Fmt.epr "hotpath: fast-path run diverged from baseline!@.";
-    exit 1
-  end;
-  let retired = Cms.retired c_on in
-  let s = Cms.stats c_on in
-  let speedup = off /. on in
-  pr "=== Hot-path fast-path benchmark (interpreter-dominated loop) ===@.";
+  let rows = hotpath_ladder ~iters ~reps:3 in
+  let _, t_base, _ = List.hd rows in
+  let retired =
+    let _, _, c = List.hd rows in
+    Cms.retired c
+  in
+  let name_full, t_full, c_full = List.nth rows 4 in
+  let _, t_unchained, _ = List.nth rows 3 in
+  ignore name_full;
+  let s = Cms.stats c_full in
+  let speedup = t_base /. t_full in
+  pr "=== Hot-path execution-ladder benchmark ===@.";
   pr "  retired x86 insns        %d@." retired;
-  pr "  fast paths OFF           %.3f s  (%.0f ns/insn)@." off
-    (off *. 1e9 /. float_of_int retired);
-  pr "  fast paths ON            %.3f s  (%.0f ns/insn)@." on
-    (on *. 1e9 /. float_of_int retired);
-  pr "  speedup                  %.2fx@." speedup;
+  List.iter
+    (fun (name, dt, _) ->
+      pr "  %-26s %.3f s  (%5.0f ns/insn, %5.2fx)@." name dt
+        (dt *. 1e9 /. float_of_int retired)
+        (t_base /. dt))
+    rows;
+  pr "  headline speedup         %.2fx (interp/caches-off -> chained \
+      closures)@."
+    speedup;
+  pr "  chained vs unchained     %.2fx (%.3f s -> %.3f s)@."
+    (t_unchained /. t_full) t_unchained t_full;
+  pr "  chain: %a@." Cms.Stats.pp_chain s;
   pr "  host caches: %a@." Cms.Stats.pp_host s;
   if json then begin
     let oc = open_out "BENCH_hotpath.json" in
     let j = Fmt.str in
+    let tier_json (name, dt, c) =
+      j
+        "    { \"tier\": %S, \"seconds\": %.6f, \"ns_per_insn\": %.1f, \
+         \"speedup\": %.3f }"
+        name dt
+        (dt *. 1e9 /. float_of_int (Cms.retired c))
+        (t_base /. dt)
+    in
     output_string oc
       (j
          "{\n\
          \  \"bench\": \"hotpath\",\n\
          \  \"loop_iterations\": %d,\n\
          \  \"retired_insns\": %d,\n\
-         \  \"fast_off_seconds\": %.6f,\n\
-         \  \"fast_on_seconds\": %.6f,\n\
+         \  \"tiers\": [\n\
+          %s\n\
+         \  ],\n\
          \  \"speedup\": %.3f,\n\
+         \  \"chained_vs_unchained\": { \"unchained_seconds\": %.6f, \
+          \"chained_seconds\": %.6f, \"speedup\": %.3f, \
+          \"chained_exits_taken\": %d, \"chain_patches\": %d },\n\
+         \  \"closures_compiled\": %d,\n\
          \  \"tlb\": { \"hits\": %d, \"misses\": %d },\n\
          \  \"dcache\": { \"hits\": %d, \"misses\": %d, \"invalidations\": %d \
           },\n\
          \  \"ram_fast\": { \"reads\": %d, \"writes\": %d }\n\
           }\n"
-         iters retired off on speedup s.Cms.Stats.tlb_hits
+         iters retired
+         (String.concat ",\n" (List.map tier_json rows))
+         speedup t_unchained t_full
+         (t_unchained /. t_full)
+         s.Cms.Stats.chained_exits_taken s.Cms.Stats.chain_patches
+         s.Cms.Stats.closures_compiled s.Cms.Stats.tlb_hits
          s.Cms.Stats.tlb_misses s.Cms.Stats.dcache_hits
          s.Cms.Stats.dcache_misses s.Cms.Stats.dcache_invalidations
          s.Cms.Stats.ram_fast_reads s.Cms.Stats.ram_fast_writes);
@@ -408,7 +505,32 @@ let run_smoke () =
     Fmt.epr "bench-smoke: %S DIVERGED between fast-path modes@."
       w.Workloads.Suite.name;
     exit 1
-  end
+  end;
+  (* the full ladder on a shortened loop: equivalence across all five
+     tiers (hotpath_ladder exits nonzero on divergence) plus a floor
+     on the headline speedup — generous against the measured >3.5x so
+     a loaded CI host doesn't flake, but tight enough to catch the
+     closure or chaining tier silently falling back to the decoder *)
+  let rows = hotpath_ladder ~iters:40_000 ~reps:2 in
+  let _, t_base, _ = List.hd rows in
+  let _, t_full, c_full = List.nth rows 4 in
+  let speedup = t_base /. t_full in
+  let s = Cms.stats c_full in
+  if s.Cms.Stats.closures_compiled = 0 then begin
+    Fmt.epr "bench-smoke: chained tier compiled no closures@.";
+    exit 1
+  end;
+  if s.Cms.Stats.chained_exits_taken = 0 then begin
+    Fmt.epr "bench-smoke: chained tier followed no chained exits@.";
+    exit 1
+  end;
+  if speedup < 3.1 then begin
+    Fmt.epr "bench-smoke: ladder speedup %.2fx below the 3.1x floor@." speedup;
+    exit 1
+  end;
+  pr "bench-smoke: ladder speedup %.2fx (floor 3.1x), %d closures, %d chained \
+      exits@."
+    speedup s.Cms.Stats.closures_compiled s.Cms.Stats.chained_exits_taken
 
 (* ------------------------------------------------------------------ *)
 

@@ -33,6 +33,7 @@ let report ~stats ~verbose w t =
     (Cms.mpi t);
   if stats || verbose then begin
     Fmt.pr "host caches: %a@." Cms.Stats.pp_host s;
+    Fmt.pr "chain: %a@." Cms.Stats.pp_chain s;
     Fmt.pr "recovery: %a@." Cms.Stats.pp_recovery s;
     Fmt.pr "persist: %a@." Cms.Stats.pp_persist s
   end;
@@ -185,10 +186,10 @@ let do_soak ~cfg w every =
   if Persist.Soak.ok r then `Ok ()
   else `Error (false, "soak drill diverged")
 
-let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
-    no_groups no_stylized force_selfcheck interp_only no_fast_paths threshold
-    max_region stats record replay soak soak_every aot_build aot aot_check
-    verbose =
+let run_cmd name list_only no_reorder no_alias no_fg no_chaining no_closures
+    no_chain no_reval no_groups no_stylized force_selfcheck interp_only
+    no_fast_paths threshold max_region stats record replay soak soak_every
+    aot_build aot aot_check verbose =
   if list_only then begin
     List.iter (fun w -> Fmt.pr "%s@." w.Suite.name) (all_workloads ());
     `Ok ()
@@ -204,7 +205,9 @@ let run_cmd name list_only no_reorder no_alias no_fg no_chain no_reval
             Cms.Config.enable_reorder = not no_reorder;
             enable_alias_hw = not no_alias;
             enable_fine_grain = not no_fg;
-            enable_chaining = not no_chain;
+            enable_chaining = not no_chaining;
+            closure_exec = not no_closures;
+            chain_exits = not no_chain;
             enable_self_reval = not no_reval;
             enable_groups = not no_groups;
             enable_stylized = not no_stylized;
@@ -251,7 +254,17 @@ let flag names doc = Arg.(value & flag & info names ~doc)
 let no_reorder = flag [ "no-reorder" ] "Suppress memory reordering (Fig. 2)."
 let no_alias = flag [ "no-alias" ] "Disable the alias hardware (Fig. 3)."
 let no_fg = flag [ "no-fine-grain" ] "Disable fine-grain protection (Table 1)."
-let no_chain = flag [ "no-chaining" ] "Disable translation chaining."
+let no_chaining = flag [ "no-chaining" ] "Disable translation chaining."
+let no_closures =
+  flag [ "no-closures" ]
+    "Execute translations through the two-phase decoder instead of the \
+     pre-compiled closure tier.  Guest-visible behavior is identical \
+     either way; the knob exists for measurement and fallback."
+let no_chain =
+  flag [ "no-chain" ]
+    "Keep chain patching but never follow a patched exit: every \
+     translation exit returns to the dispatcher.  Guest-visible behavior \
+     is identical either way."
 let no_reval = flag [ "no-self-reval" ] "Disable self-revalidation."
 let no_groups = flag [ "no-groups" ] "Disable translation groups."
 let no_stylized = flag [ "no-stylized" ] "Disable stylized-SMC translations."
@@ -333,9 +346,9 @@ let cmd =
     Term.(
       ret
         (const run_cmd $ workload_arg $ list_only $ no_reorder $ no_alias $ no_fg
-       $ no_chain $ no_reval $ no_groups $ no_stylized $ force_selfcheck
-       $ interp_only $ no_fast_paths $ threshold $ max_region $ stats_flag
-       $ record_arg $ replay_arg $ soak_flag $ soak_every $ aot_build_arg
-       $ aot_arg $ aot_check $ verbose))
+       $ no_chaining $ no_closures $ no_chain $ no_reval $ no_groups
+       $ no_stylized $ force_selfcheck $ interp_only $ no_fast_paths $ threshold
+       $ max_region $ stats_flag $ record_arg $ replay_arg $ soak_flag
+       $ soak_every $ aot_build_arg $ aot_arg $ aot_check $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -67,6 +67,26 @@ type t = {
   fault_handler_cost : int;  (** per native fault taken (CMS entry) *)
   fg_install_cost : int;  (** per fine-grain cache software refill *)
   reval_cost_per_byte : int;  (** prologue compare cost (self-reval) *)
+  (* --- steady-state execution (closures + direct chaining) --- *)
+  closure_exec : bool;
+      (** compile each installed translation's molecules into OCaml
+          closures at first dispatch (atoms pre-resolved to direct
+          regfile/storebuf/alias operations, immediates and branch
+          targets baked in) and execute those instead of re-matching
+          atoms in {!Vliw.Exec.run} every iteration.  Observationally
+          invisible by construction (the closure compiler mirrors the
+          two-phase evaluate/apply semantics counter for counter; the
+          differential suite pins it); the debug interlocks
+          ([validate_molecules]/[enforce_latency]) force the [Exec]
+          path regardless. *)
+  chain_exits : bool;
+      (** take patched [Chained] exits directly: control transfers
+          translation-to-translation without returning to the engine
+          dispatcher, through a boundary that still ticks devices,
+          fires hooks, polls interrupts and honours run limits.
+          Requires [enable_chaining] (which governs patching); this
+          knob governs only whether the patch is *followed*, so the
+          cost model is identical on and off. *)
   (* --- host-side fast paths --- *)
   host_fast_paths : bool;
       (** enable the host-side caching layers: the MMU software TLB,
@@ -121,6 +141,8 @@ let default =
     fault_handler_cost = 300;
     fg_install_cost = 60;
     reval_cost_per_byte = 1;
+    closure_exec = true;
+    chain_exits = true;
     host_fast_paths = true;
     validate_molecules = false;
     enforce_latency = false;

@@ -45,6 +45,10 @@ type t = {
           architectural boundary in every configuration.  Raising IRQ
           lines here makes them deliverable within the same iteration. *)
   mutable chaos : chaos option;  (** fault injection; [None] = clean run *)
+  mutable insn_limit : int;
+      (** the active [run]'s [max_insns]; the chained fast path checks
+          it at every translation-to-translation boundary so a chained
+          loop stops exactly where the dispatcher would *)
   (* forward-progress watchdog state *)
   mutable stall_eip : int;  (** eip at the last dispatch iteration *)
   mutable last_retired : int;
@@ -67,7 +71,7 @@ let create ?(cfg = Config.default) plat =
   let t =
     { cfg; plat; cpu; interp; profile; stats; tcache; smc; adapt;
       ticked = 0; irq_sample = 0; on_boundary = None; chaos = None;
-      stall_eip = -1; last_retired = -1; stalls = 0 }
+      insn_limit = max_int; stall_eip = -1; last_retired = -1; stalls = 0 }
   in
   mem.Machine.Mem.on_smc <- (fun hit ~paddr ~len -> Smc.on_write smc hit ~paddr ~len);
   mem.Machine.Mem.on_dma_smc <- (fun ~ppn -> Smc.on_dma smc ~ppn);
@@ -262,7 +266,7 @@ let escalate_spec t (tr : Tcache.trans) =
   if n > 8 then Adapt.cut_region t.adapt entry ~current:n
   else Adapt.set_no_reorder t.adapt entry;
   ladder_step t entry;
-  Smc.invalidate t.smc tr ~keep_in_group:false
+  Smc.invalidate ~cause:Tcache.Udemote t.smc tr ~keep_in_group:false
 
 (** Handle a native fault from a translation.  The engine has already
     rolled back; this decides genuine vs speculative and adapts. *)
@@ -290,7 +294,7 @@ let recover t (tr : Tcache.trans) (n : Vliw.Nexn.t) =
               Adapt.add_interp_insn t.adapt tr.Tcache.entry i.Region.addr)
           tr.Tcache.region.Region.insns;
         ladder_step t tr.Tcache.entry;
-        Smc.invalidate t.smc tr ~keep_in_group:false
+        Smc.invalidate ~cause:Tcache.Udemote t.smc tr ~keep_in_group:false
       end
   | Vliw.Nexn.Alias_violation _ ->
       if Sys.getenv_opt "CMS_DEBUG_FAULTS" <> None then begin
@@ -331,7 +335,7 @@ let recover t (tr : Tcache.trans) (n : Vliw.Nexn.t) =
                large and optimized; it becomes a zero-instruction
                translation *)
             Adapt.add_interp_insn t.adapt tr.Tcache.entry pc;
-            Smc.invalidate t.smc tr ~keep_in_group:false
+            Smc.invalidate ~cause:Tcache.Udemote t.smc tr ~keep_in_group:false
           end
       | None ->
           (* speculative: a hoisted access faulted on a path the real
@@ -362,7 +366,39 @@ let irq_pending_poll t () =
   Cpu.irq_deliverable t.cpu
   || (match t.chaos with Some c -> c.irq_spoof () | None -> false)
 
-let run_translation t (tr : Tcache.trans) =
+(* Execute a translation's code: through its compiled closure when the
+   steady-state tier is eligible (closures never carry the debug
+   interlocks, so those force the {!Vliw.Exec} path), else the
+   atom-dispatching engine.  Compilation is lazy, at first dispatch —
+   also what re-arms AOT-installed translations locally after their
+   copy-on-validate install. *)
+let exec_code t (tr : Tcache.trans) =
+  let exec = t.cpu.Cpu.exec in
+  if
+    t.cfg.Config.closure_exec
+    && (not exec.Vliw.Exec.validate)
+    && not exec.Vliw.Exec.enforce_latency
+  then
+    match tr.Tcache.compiled with
+    | Tcache.Compiled c -> Vliw.Closure.run ~irq_pending:(irq_pending_poll t) c
+    | Tcache.Uncompilable ->
+        Vliw.Exec.run ~irq_pending:(irq_pending_poll t) exec tr.Tcache.code
+    | Tcache.Not_compiled -> (
+        match Vliw.Closure.compile exec tr.Tcache.code with
+        | Some c ->
+            tr.Tcache.compiled <- Tcache.Compiled c;
+            t.stats.Stats.closures_compiled <-
+              t.stats.Stats.closures_compiled + 1;
+            Vliw.Closure.run ~irq_pending:(irq_pending_poll t) c
+        | None ->
+            tr.Tcache.compiled <- Tcache.Uncompilable;
+            Vliw.Exec.run ~irq_pending:(irq_pending_poll t) exec tr.Tcache.code)
+  else Vliw.Exec.run ~irq_pending:(irq_pending_poll t) exec tr.Tcache.code
+
+(* Run [tr] once.  Returns the successor translation when the exit
+   taken is a healthy [Chained] fast exit — the caller decides whether
+   the chained transfer actually happens (boundary checks). *)
+let run_translation_once t (tr : Tcache.trans) : Tcache.trans option =
   (* self-revalidation prologue *)
   if tr.Tcache.reval_armed then
     if not (Smc.revalidate t.smc tr) then begin
@@ -370,74 +406,134 @@ let run_translation t (tr : Tcache.trans) =
       Smc.on_selfcheck_fail t.smc tr;
       ()
     end;
-  if tr.Tcache.valid then begin
+  if not tr.Tcache.valid then None
+  else begin
     tr.Tcache.execs <- tr.Tcache.execs + 1;
     let aot_before =
       if tr.Tcache.aot then (perf t).Vliw.Perf.x86_committed else 0
     in
-    (match
-      match t.chaos with
-      | Some c -> (
-          (* injected native fault: the state is still at the commit
-             point, so this is exactly a fault at the first molecule *)
-          match c.pre_exec tr with
-          | Some n -> Vliw.Exec.Faulted n
-          | None ->
-              Vliw.Exec.run ~irq_pending:(irq_pending_poll t) t.cpu.Cpu.exec
-                tr.Tcache.code)
-      | None ->
-          Vliw.Exec.run ~irq_pending:(irq_pending_poll t) t.cpu.Cpu.exec
-            tr.Tcache.code
-    with
-    | Vliw.Exec.Exited i -> (
-        let e = tr.Tcache.code.Vliw.Code.exits.(i) in
-        match e.Vliw.Code.kind with
-        | Vliw.Code.Enext -> (
-            (* chaining (§2): patch the exit to its target translation *)
-            match e.Vliw.Code.chain with
-            | Vliw.Code.Chained id when Tcache.by_id t.tcache id <> None -> ()
-            | _ -> (
-                t.stats.Stats.lookups <- t.stats.Stats.lookups + 1;
-                Stats.charge t.stats t.cfg.Config.lookup_cost;
-                match e.Vliw.Code.target with
-                | Vliw.Code.Const target when t.cfg.Config.enable_chaining -> (
-                    match Tcache.lookup t.tcache target with
-                    | Some t2 ->
-                        e.Vliw.Code.chain <- Vliw.Code.Chained t2.Tcache.id;
-                        t.stats.Stats.chain_patches <-
-                          t.stats.Stats.chain_patches + 1
-                    | None -> ())
-                | _ -> ()))
-        | Vliw.Code.Einterp_one -> ignore (Interp.step t.interp)
-        | Vliw.Code.Eselfcheck_fail -> Smc.on_selfcheck_fail t.smc tr)
-    | Vliw.Exec.Faulted n ->
-        Stats.charge t.stats t.cfg.Config.rollback_cost;
-        Vliw.Exec.rollback t.cpu.Cpu.exec;
-        recover t tr n
-    | Vliw.Exec.Interrupted ->
-        (* roll back to the consistent boundary unless already there *)
-        if
-          not
-            (Vliw.Regfile.consistent t.cpu.Cpu.exec.Vliw.Exec.regs
-            && Vliw.Storebuf.is_empty t.cpu.Cpu.exec.Vliw.Exec.sbuf)
-        then begin
+    let succ =
+      match
+        match t.chaos with
+        | Some c -> (
+            (* injected native fault: the state is still at the commit
+               point, so this is exactly a fault at the first molecule *)
+            match c.pre_exec tr with
+            | Some n -> Vliw.Exec.Faulted n
+            | None -> exec_code t tr)
+        | None -> exec_code t tr
+      with
+      | Vliw.Exec.Exited i -> (
+          let e = tr.Tcache.code.Vliw.Code.exits.(i) in
+          match e.Vliw.Code.kind with
+          | Vliw.Code.Enext ->
+              (* chaining (§2): resolve an already-patched successor
+                 (one id lookup), else patch the exit to its target
+                 translation — the patch hands back the successor
+                 directly, so a fresh patch costs no extra lookup *)
+              let succ =
+                match e.Vliw.Code.chain with
+                | Vliw.Code.Chained id -> Tcache.by_id t.tcache id
+                | _ -> None
+              in
+              let succ =
+                match succ with
+                | Some _ -> succ
+                | None -> (
+                    t.stats.Stats.lookups <- t.stats.Stats.lookups + 1;
+                    Stats.charge t.stats t.cfg.Config.lookup_cost;
+                    match e.Vliw.Code.target with
+                    | Vliw.Code.Const target when t.cfg.Config.enable_chaining
+                      -> (
+                        match Tcache.lookup t.tcache target with
+                        | Some t2 ->
+                            e.Vliw.Code.chain <- Vliw.Code.Chained t2.Tcache.id;
+                            Tcache.link ~src:tr ~exit_idx:i ~dst:t2;
+                            t.stats.Stats.chain_patches <-
+                              t.stats.Stats.chain_patches + 1;
+                            Some t2
+                        | None -> None)
+                    | _ -> None)
+              in
+              (* chained fast exit: hand the healthy successor to the
+                 transfer loop instead of the dispatcher *)
+              if t.cfg.Config.chain_exits then succ else None
+          | Vliw.Code.Einterp_one ->
+              ignore (Interp.step t.interp);
+              None
+          | Vliw.Code.Eselfcheck_fail ->
+              Smc.on_selfcheck_fail t.smc tr;
+              None)
+      | Vliw.Exec.Faulted n ->
           Stats.charge t.stats t.cfg.Config.rollback_cost;
           Vliw.Exec.rollback t.cpu.Cpu.exec;
-          t.stats.Stats.irq_rollbacks <- t.stats.Stats.irq_rollbacks + 1
-        end;
-        (* Under a spoofed poll this exit can happen with IF clear; a
-           latched line must then stay latched for later — acking it
-           here would deliver an interrupt the guest has masked. *)
-        if Cpu.irq_deliverable t.cpu then deliver_irq t
-    | Vliw.Exec.Runaway ->
-        raise (Cpu.Panic "translation exceeded molecule budget"));
+          recover t tr n;
+          None
+      | Vliw.Exec.Interrupted ->
+          (* roll back to the consistent boundary unless already there *)
+          if
+            not
+              (Vliw.Regfile.consistent t.cpu.Cpu.exec.Vliw.Exec.regs
+              && Vliw.Storebuf.is_empty t.cpu.Cpu.exec.Vliw.Exec.sbuf)
+          then begin
+            Stats.charge t.stats t.cfg.Config.rollback_cost;
+            Vliw.Exec.rollback t.cpu.Cpu.exec;
+            t.stats.Stats.irq_rollbacks <- t.stats.Stats.irq_rollbacks + 1
+          end;
+          (* Under a spoofed poll this exit can happen with IF clear; a
+             latched line must then stay latched for later — acking it
+             here would deliver an interrupt the guest has masked. *)
+          if Cpu.irq_deliverable t.cpu then deliver_irq t;
+          None
+      | Vliw.Exec.Runaway ->
+          raise (Cpu.Panic "translation exceeded molecule budget")
+    in
     if tr.Tcache.aot then begin
       t.stats.Stats.aot_hits <- t.stats.Stats.aot_hits + 1;
       t.stats.Stats.aot_x86_retired <-
         t.stats.Stats.aot_x86_retired
         + ((perf t).Vliw.Perf.x86_committed - aot_before)
-    end
+    end;
+    succ
   end
+
+(* Run a translation, following healthy chained exits translation-to-
+   translation.  Each hop passes through a boundary that does exactly
+   what the dispatcher's loop top does — device ticks, the boundary
+   hook, run-limit / halt / interrupt / quarantine checks — minus the
+   tcache lookup the chain replaces; any failed check falls back to the
+   dispatcher, which re-derives everything from scratch.  A hop also
+   requires retired-instruction progress, so a chained cycle can never
+   bypass the forward-progress watchdog. *)
+let run_translation t (tr : Tcache.trans) =
+  let rec go (tr : Tcache.trans) =
+    let before = retired t in
+    match run_translation_once t tr with
+    | None -> ()
+    | Some succ ->
+        tick_devices t;
+        (match t.on_boundary with None -> () | Some f -> f (retired t));
+        (* hooks (fuzz events, chaos storms, journal replay) may have
+           changed anything: re-check the successor and the world *)
+        if
+          retired t > before
+          && retired t < t.insn_limit
+          && (not t.cpu.Cpu.halted)
+          && (not (Cpu.irq_deliverable t.cpu))
+          && succ.Tcache.valid
+          && (not (Adapt.quarantined t.adapt succ.Tcache.entry))
+          && Cpu.committed_eip t.cpu = succ.Tcache.entry
+        then begin
+          (* the dispatcher's [Tcache.lookup] would refresh the
+             generation stamp; the chained path must too, or hot
+             successors look cold to the evictor *)
+          succ.Tcache.gen <- t.tcache.Tcache.cur_gen;
+          t.stats.Stats.chained_exits_taken <-
+            t.stats.Stats.chained_exits_taken + 1;
+          go succ
+        end
+  in
+  go tr
 
 (* Can any device still wake a halted CPU? *)
 let wakeup_possible t =
@@ -458,13 +554,19 @@ let sync_host_stats t =
   t.stats.Stats.tcache_flushes <- t.tcache.Tcache.flushes;
   t.stats.Stats.tcache_evictions <- t.tcache.Tcache.evictions;
   t.stats.Stats.tcache_evicted <- t.tcache.Tcache.evicted;
-  t.stats.Stats.adapt_evictions <- t.adapt.Adapt.evictions
+  t.stats.Stats.adapt_evictions <- t.adapt.Adapt.evictions;
+  t.stats.Stats.chain_unlinks_evict <- t.tcache.Tcache.unlinks_evict;
+  t.stats.Stats.chain_unlinks_demote <- t.tcache.Tcache.unlinks_demote;
+  t.stats.Stats.chain_unlinks_smc <- t.tcache.Tcache.unlinks_smc;
+  t.stats.Stats.chain_unlinks_aot <- t.tcache.Tcache.unlinks_aot;
+  t.stats.Stats.chain_unlinks_chaos <- t.tcache.Tcache.unlinks_chaos
 
 type stop = Halted | Insn_limit
 
 (** Run until the guest halts with no wakeup source, or [max_insns]
     x86 instructions have retired. *)
 let run ?(max_insns = max_int) t =
+  t.insn_limit <- max_insns;
   let continue_ = ref true in
   let result = ref Halted in
   while !continue_ do

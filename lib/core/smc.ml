@@ -93,8 +93,11 @@ let register t (tr : Tcache.trans) =
         if Machine.Mem.in_fg_mode t.mem ~ppn then refresh_page t ~ppn)
       (pages_of tr)
 
-let invalidate t (tr : Tcache.trans) ~keep_in_group =
-  Tcache.invalidate t.tcache tr ~keep_in_group;
+(* [cause] labels the chained-exit unlink accounting; everything in
+   this module invalidates because of SMC/DMA events, so that is the
+   default — the engine's demotion-ladder callers override it. *)
+let invalidate ?(cause = Tcache.Usmc) t (tr : Tcache.trans) ~keep_in_group =
+  Tcache.invalidate ~cause t.tcache tr ~keep_in_group;
   t.stats.Stats.invalidations <- t.stats.Stats.invalidations + 1;
   if tr.Tcache.aot then
     t.stats.Stats.aot_invalidated <- t.stats.Stats.aot_invalidated + 1;

@@ -70,6 +70,27 @@ type t = {
   mutable aot_invalidated : int;
       (** AOT translations invalidated (SMC) or evicted at runtime;
           re-translation of those entries falls to the dynamic tier *)
+  (* --- closure execution + direct chaining (steady-state tier) --- *)
+  mutable closures_compiled : int;
+      (** translations closure-compiled at first dispatch
+          ({!Config.closure_exec}) *)
+  mutable chained_exits_taken : int;
+      (** translation-to-translation transfers that bypassed the
+          dispatcher through a patched [Chained] exit
+          ({!Config.chain_exits}) *)
+  mutable chain_unlinks_evict : int;
+      (** chained exits unlinked because a translation died to
+          generational eviction, capacity flush or replacement *)
+  mutable chain_unlinks_demote : int;
+      (** chained exits unlinked by demotion-ladder invalidation *)
+  mutable chain_unlinks_smc : int;
+      (** chained exits unlinked by SMC/DMA invalidation *)
+  mutable chain_unlinks_aot : int;
+      (** chained exits unlinked because the dying translation was an
+          AOT entry (any trigger) *)
+  mutable chain_unlinks_chaos : int;
+      (** chained exits forcibly unlinked by the chaos layer's
+          unlink storms *)
 }
 
 let create () =
@@ -120,6 +141,13 @@ let create () =
     aot_hits = 0;
     aot_x86_retired = 0;
     aot_invalidated = 0;
+    closures_compiled = 0;
+    chained_exits_taken = 0;
+    chain_unlinks_evict = 0;
+    chain_unlinks_demote = 0;
+    chain_unlinks_smc = 0;
+    chain_unlinks_aot = 0;
+    chain_unlinks_chaos = 0;
   }
 
 let charge t m = t.charged_molecules <- t.charged_molecules + m
@@ -171,6 +199,16 @@ let pp_persist fmt t =
   Fmt.pf fmt
     "snapshots[written=%d bytes=%d] journal-events=%d resumes=%d"
     t.snapshots_written t.snapshot_bytes t.journal_events t.resumes
+
+(** Closure/chaining counters: how much of the run went through the
+    steady-state tier, and why links were torn down. *)
+let pp_chain fmt t =
+  Fmt.pf fmt
+    "closures=%d chained-exits=%d patches=%d \
+     unlinks[evict=%d demote=%d smc=%d aot=%d chaos=%d]"
+    t.closures_compiled t.chained_exits_taken t.chain_patches
+    t.chain_unlinks_evict t.chain_unlinks_demote t.chain_unlinks_smc
+    t.chain_unlinks_aot t.chain_unlinks_chaos
 
 (** AOT counters: what the static pass shipped and how much of the run
     it actually carried (AOT hits vs dynamic retranslations). *)

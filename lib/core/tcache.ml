@@ -15,6 +15,26 @@
     the garbage collection policies real systems use) is retained as the
     last resort when every held record is current-generation. *)
 
+(** Why a chained exit was torn down — the accounting axes of the
+    unlink counters (and of {!Stats}). *)
+type unlink_cause =
+  | Uevict  (** generational eviction, capacity flush, or replacement *)
+  | Udemote  (** demotion-ladder invalidation *)
+  | Usmc  (** SMC/DMA invalidation *)
+  | Uaot  (** the dying translation was an AOT entry (any trigger) *)
+  | Uchaos  (** chaos-layer unlink storm *)
+
+(** Closure-compilation state of a translation
+    ({!Config.closure_exec}).  Compiled lazily at first dispatch —
+    which is also what re-arms AOT-installed translations locally
+    after their copy-on-validate install. *)
+type comp =
+  | Not_compiled
+  | Compiled of Vliw.Closure.t
+  | Uncompilable
+      (** the closure compiler refused (register index outside the
+          working array); {!Vliw.Exec.run} handles it, identically *)
+
 type trans = {
   id : int;
   entry : int;
@@ -43,6 +63,13 @@ type trans = {
           translation image at boot; invalidation and eviction treat it
           exactly like a dynamic translation, only the accounting
           differs *)
+  mutable compiled : comp;
+  mutable in_links : (trans * int) list;
+      (** reverse chain index: predecessors whose exit [(src, i)] is
+          patched [Chained] to this record.  Best-effort bookkeeping —
+          every chained transfer revalidates the successor, so
+          correctness never rests on this list; it exists so
+          invalidation can tear links down eagerly and count why. *)
 }
 
 type t = {
@@ -62,6 +89,12 @@ type t = {
   mutable flushes : int;
   mutable evictions : int;  (** generational eviction rounds *)
   mutable evicted : int;  (** records discarded by eviction *)
+  (* chained-exit unlink counters, by cause (mirrored into {!Stats}) *)
+  mutable unlinks_evict : int;
+  mutable unlinks_demote : int;
+  mutable unlinks_smc : int;
+  mutable unlinks_aot : int;
+  mutable unlinks_chaos : int;
   mutable on_flush : unit -> unit;
       (** fired on every full flush; the engine hooks it so dependent
           host caches (the interpreter's decoded-instruction cache)
@@ -87,6 +120,11 @@ let create ~capacity =
     flushes = 0;
     evictions = 0;
     evicted = 0;
+    unlinks_evict = 0;
+    unlinks_demote = 0;
+    unlinks_smc = 0;
+    unlinks_aot = 0;
+    unlinks_chaos = 0;
     on_flush = (fun () -> ());
     on_evict = (fun _ -> ());
   }
@@ -106,6 +144,49 @@ let by_id t id =
   match Hashtbl.find_opt t.by_id id with
   | Some tr when tr.valid -> Some tr
   | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Chained-exit link bookkeeping                                       *)
+(* ------------------------------------------------------------------ *)
+
+let count_unlink t = function
+  | Uevict -> t.unlinks_evict <- t.unlinks_evict + 1
+  | Udemote -> t.unlinks_demote <- t.unlinks_demote + 1
+  | Usmc -> t.unlinks_smc <- t.unlinks_smc + 1
+  | Uaot -> t.unlinks_aot <- t.unlinks_aot + 1
+  | Uchaos -> t.unlinks_chaos <- t.unlinks_chaos + 1
+
+(** Record that [src]'s exit [exit_idx] is now [Chained] to [dst], so
+    [dst]'s death can tear the link down eagerly. *)
+let link ~src ~exit_idx ~dst =
+  if
+    not
+      (List.exists
+         (fun (s, i) -> s.id = src.id && i = exit_idx)
+         dst.in_links)
+  then dst.in_links <- (src, exit_idx) :: dst.in_links
+
+(* A dying AOT record counts its unlinks under the AOT axis whatever
+   the trigger was — the axis answers "how much chaining did the
+   static tier's churn cost us". *)
+let cause_for tr cause = if tr.aot then Uaot else cause
+
+(* Detach every predecessor exit still chained to [tr].  Parked and
+   already-dead predecessors are unlinked too: their exits would fail
+   the by-id revalidation at next dispatch anyway, so this changes no
+   costs, only reclaims the bookkeeping. *)
+let unlink_incoming t tr ~cause =
+  let cause = cause_for tr cause in
+  List.iter
+    (fun (src, i) ->
+      let e = src.code.Vliw.Code.exits.(i) in
+      match e.Vliw.Code.chain with
+      | Vliw.Code.Chained id when id = tr.id ->
+          e.Vliw.Code.chain <- Vliw.Code.Unchained;
+          count_unlink t cause
+      | _ -> ())
+    tr.in_links;
+  tr.in_links <- []
 
 let pages_of_ranges ranges =
   List.concat_map
@@ -127,6 +208,21 @@ let on_page t ~ppn =
   | None -> []
 
 let flush t =
+  (* every link dies with the cache; count the outgoing chained exits
+     of every held record (each live link is counted exactly once, on
+     the exit that held it) *)
+  Hashtbl.iter
+    (fun _ tr ->
+      Array.iter
+        (fun (e : Vliw.Code.exit) ->
+          match e.Vliw.Code.chain with
+          | Vliw.Code.Chained _ ->
+              e.Vliw.Code.chain <- Vliw.Code.Unchained;
+              count_unlink t (cause_for tr Uevict)
+          | _ -> ())
+        tr.code.Vliw.Code.exits;
+      tr.in_links <- [])
+    t.by_id;
   Hashtbl.iter (fun _ tr -> tr.valid <- false) t.by_id;
   Hashtbl.reset t.by_entry;
   Hashtbl.reset t.by_id;
@@ -138,7 +234,8 @@ let flush t =
 
 (* Drop a record from every index.  [tr.valid] may be either state
    (eviction takes valid and parked records alike). *)
-let drop t tr =
+let drop t tr ~cause =
+  unlink_incoming t tr ~cause;
   tr.valid <- false;
   (match Hashtbl.find_opt t.by_entry tr.entry with
   | Some cur when cur.id = tr.id -> Hashtbl.remove t.by_entry tr.entry
@@ -177,7 +274,7 @@ let evict_generation t g =
   in
   List.iter
     (fun tr ->
-      drop t tr;
+      drop t tr ~cause:Uevict;
       t.on_evict tr)
     victims;
   let n = List.length victims in
@@ -217,9 +314,13 @@ let ensure_room t =
 (** Invalidate a translation.  With [keep_in_group] it is parked in the
     entry's translation group for possible reactivation (and keeps
     counting toward capacity until evicted); otherwise the record is
-    dropped entirely. *)
-let invalidate t tr ~keep_in_group =
+    dropped entirely.  [cause] labels the unlink accounting for any
+    predecessor exits chained to it (parked records unlink too: until
+    reactivated they are not dispatchable, and reactivation re-chains
+    through the normal patch path at identical cost). *)
+let invalidate ?(cause = Uevict) t tr ~keep_in_group =
   if tr.valid then begin
+    unlink_incoming t tr ~cause;
     tr.valid <- false;
     (match Hashtbl.find_opt t.by_entry tr.entry with
     | Some cur when cur.id = tr.id -> Hashtbl.remove t.by_entry tr.entry
@@ -229,7 +330,7 @@ let invalidate t tr ~keep_in_group =
       | Some l -> l := tr :: !l
       | None -> Hashtbl.add t.groups tr.entry (ref [ tr ])
     end
-    else drop t tr
+    else drop t tr ~cause
   end
 
 (** Insert a new translation; returns it.  Replaces any current
@@ -258,6 +359,8 @@ let insert ?(unprotected = false) ?(aot = false) t ~entry ~code ~region ~policy
       reval_armed = false;
       unprotected;
       aot;
+      compiled = Not_compiled;
+      in_links = [];
     }
   in
   t.next_id <- t.next_id + 1;
@@ -305,3 +408,38 @@ let group_size t ~entry =
   match Hashtbl.find_opt t.groups entry with
   | Some l -> List.length !l
   | None -> 0
+
+(** Every live chained exit, as [(source, exit index)], in a canonical
+    order (by translation id, then exit index) — the deterministic
+    substrate for the chaos layer's unlink storms and their journal
+    replay. *)
+let chained_exits t =
+  Hashtbl.fold
+    (fun _ tr acc ->
+      if tr.valid then begin
+        let exits = tr.code.Vliw.Code.exits in
+        let acc = ref acc in
+        Array.iteri
+          (fun i (e : Vliw.Code.exit) ->
+            match e.Vliw.Code.chain with
+            | Vliw.Code.Chained _ -> acc := (tr, i) :: !acc
+            | _ -> ())
+          exits;
+        !acc
+      end
+      else acc)
+    t.by_id []
+  |> List.sort (fun ((a : trans), i) ((b : trans), j) ->
+         compare (a.id, i) (b.id, j))
+
+(** Chaos entry point: forcibly unlink one live chained exit, selected
+    deterministically by [k] over the canonical {!chained_exits} order.
+    Returns [true] when a link existed to cut. *)
+let unlink_nth t ~k =
+  match chained_exits t with
+  | [] -> false
+  | l ->
+      let tr, i = List.nth l (k mod List.length l) in
+      tr.code.Vliw.Code.exits.(i).Vliw.Code.chain <- Vliw.Code.Unchained;
+      count_unlink t Uchaos;
+      true

@@ -76,7 +76,16 @@ let cfg_interp =
   { Cms.Config.default with Cms.Config.translate_threshold = max_int }
 
 let cfg_translate =
-  { Cms.Config.default with Cms.Config.verify_translations = true }
+  (* closure compilation and chained transfers forced on (they are the
+     defaults, but the oracle must keep exercising them even if the
+     defaults ever change): every fuzz case differentially checks the
+     fastest execution tier against the interpreter *)
+  {
+    Cms.Config.default with
+    Cms.Config.verify_translations = true;
+    closure_exec = true;
+    chain_exits = true;
+  }
 
 let cfg_nofast =
   { cfg_translate with Cms.Config.host_fast_paths = false }
@@ -335,6 +344,7 @@ let record ?checkpoint_every ?(label = "case") (r : rendered) : recording =
       tap_spoof = (fun nth -> host := Journal.Spoof { nth } :: !host);
       tap_flush = (fun nth -> host := Journal.Flush { nth } :: !host);
       tap_evict = (fun nth -> host := Journal.Evict { nth } :: !host);
+      tap_unlink = (fun nth k -> host := Journal.Unlink { nth; k } :: !host);
     }
   in
   let ckpt = ref None in

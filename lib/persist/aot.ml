@@ -27,7 +27,9 @@ exception Stale of string
 let stale fmt = Format.kasprintf (fun s -> raise (Stale s)) fmt
 
 let kind = "AOTC"
-let version = 1
+
+(* version 2: the embedded Config grew closure_exec/chain_exits. *)
+let version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Image model                                                         *)

@@ -127,6 +127,16 @@ let normalized_stats (s : Cms.Stats.t) =
     aot_hits = 0;
     aot_x86_retired = 0;
     aot_invalidated = 0;
+    (* the steady-state tier is observationally invisible; its own
+       bookkeeping legitimately differs across closure/chaining
+       on-off-equivalent runs *)
+    closures_compiled = 0;
+    chained_exits_taken = 0;
+    chain_unlinks_evict = 0;
+    chain_unlinks_demote = 0;
+    chain_unlinks_smc = 0;
+    chain_unlinks_aot = 0;
+    chain_unlinks_chaos = 0;
   }
 
 (** The strict digest (see module doc). *)

@@ -46,6 +46,11 @@ type host_event =
   | Spoof of { nth : int }  (** nth interrupt poll reports a phantom IRQ *)
   | Flush of { nth : int }  (** nth dispatch boundary flushes the tcache *)
   | Evict of { nth : int }  (** nth boundary evicts the coldest generation *)
+  | Unlink of { nth : int; k : int }
+      (** nth boundary forcibly unlinks a chained exit, selected by [k]
+          over the canonical {!Cms.Tcache.chained_exits} order (the
+          selection is a pure function of tcache state, so replaying
+          [(nth, k)] cuts the identical link) *)
 
 let pp_host_event ppf = function
   | Kill { nth } -> Fmt.pf ppf "kill@%d" nth
@@ -53,6 +58,7 @@ let pp_host_event ppf = function
   | Spoof { nth } -> Fmt.pf ppf "spoof@%d" nth
   | Flush { nth } -> Fmt.pf ppf "flush@%d" nth
   | Evict { nth } -> Fmt.pf ppf "evict@%d" nth
+  | Unlink { nth; k } -> Fmt.pf ppf "unlink@%d k=%d" nth k
 
 type t = {
   label : string;  (** workload / case name *)
@@ -172,13 +178,15 @@ let install_host (c : Cms.t) (events : host_event list) =
   let spoofs = Queue.create () in
   let flushes = Queue.create () in
   let evicts = Queue.create () in
+  let unlinks = Queue.create () in
   List.iter
     (function
       | Kill { nth } -> Queue.add nth kills
       | Pre_fault { nth; alias } -> Queue.add (nth, alias) faults
       | Spoof { nth } -> Queue.add nth spoofs
       | Flush { nth } -> Queue.add nth flushes
-      | Evict { nth } -> Queue.add nth evicts)
+      | Evict { nth } -> Queue.add nth evicts
+      | Unlink { nth; k } -> Queue.add (nth, k) unlinks)
     events;
   let due q n =
     match Queue.peek_opt q with
@@ -201,7 +209,14 @@ let install_host (c : Cms.t) (events : host_event list) =
         incr n_boundary;
         if due flushes n then Cms.Tcache.flush c.Cms.Engine.tcache;
         if due evicts n then
-          ignore (Cms.Tcache.evict_coldest c.Cms.Engine.tcache));
+          ignore (Cms.Tcache.evict_coldest c.Cms.Engine.tcache);
+        match Queue.peek_opt unlinks with
+        | Some (m, k) when m = n ->
+            ignore (Queue.pop unlinks);
+            stats.Cms.Stats.journal_events <-
+              stats.Cms.Stats.journal_events + 1;
+            ignore (Cms.Tcache.unlink_nth c.Cms.Engine.tcache ~k)
+        | _ -> ());
   c.Cms.Engine.chaos <-
     Some
       {
@@ -234,7 +249,9 @@ let install_host (c : Cms.t) (events : host_event list) =
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let version = 1
+(* version 2: the embedded Config grew closure_exec/chain_exits, and
+   host events grew the chaos unlink storm (tag 5). *)
+let version = 2
 let kind = "JRNL"
 
 let w_guest_event b = function
@@ -284,6 +301,10 @@ let w_host_event b = function
   | Evict { nth } ->
       Codec.w_int b 4;
       Codec.w_int b nth
+  | Unlink { nth; k } ->
+      Codec.w_int b 5;
+      Codec.w_int b nth;
+      Codec.w_int b k
 
 let r_host_event r =
   match Codec.r_int r with
@@ -295,6 +316,10 @@ let r_host_event r =
   | 2 -> Spoof { nth = Codec.r_int r }
   | 3 -> Flush { nth = Codec.r_int r }
   | 4 -> Evict { nth = Codec.r_int r }
+  | 5 ->
+      let nth = Codec.r_int r in
+      let k = Codec.r_int r in
+      Unlink { nth; k }
   | k -> Codec.corrupt "journal: unknown host-event tag %d" k
 
 let to_string (t : t) =

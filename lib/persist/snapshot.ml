@@ -34,8 +34,10 @@ type meta = {
 exception Inconsistent of string
 (** attempted capture away from a commit boundary *)
 
-(* version 2: the embedded Stats record grew the AOT counters *)
-let version = 2
+(* version 2: the embedded Stats record grew the AOT counters.
+   version 3: Config grew closure_exec/chain_exits, Stats the
+   closure/chaining counters. *)
+let version = 3
 let kind = "SNAP"
 
 let consistent (c : Cms.t) =

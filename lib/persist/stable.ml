@@ -53,7 +53,9 @@ let w_config b (c : Cms.Config.t) =
   Codec.w_bool b c.host_fast_paths;
   Codec.w_bool b c.validate_molecules;
   Codec.w_bool b c.enforce_latency;
-  Codec.w_bool b c.verify_translations
+  Codec.w_bool b c.verify_translations;
+  Codec.w_bool b c.closure_exec;
+  Codec.w_bool b c.chain_exits
 
 let r_config r : Cms.Config.t =
   let enable_reorder = Codec.r_bool r in
@@ -91,6 +93,8 @@ let r_config r : Cms.Config.t =
   let validate_molecules = Codec.r_bool r in
   let enforce_latency = Codec.r_bool r in
   let verify_translations = Codec.r_bool r in
+  let closure_exec = Codec.r_bool r in
+  let chain_exits = Codec.r_bool r in
   {
     Cms.Config.enable_reorder;
     enable_alias_hw;
@@ -127,6 +131,8 @@ let r_config r : Cms.Config.t =
     validate_molecules;
     enforce_latency;
     verify_translations;
+    closure_exec;
+    chain_exits;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -180,7 +186,14 @@ let w_stats b (s : Cms.Stats.t) =
   Codec.w_int b s.aot_rejected;
   Codec.w_int b s.aot_hits;
   Codec.w_int b s.aot_x86_retired;
-  Codec.w_int b s.aot_invalidated
+  Codec.w_int b s.aot_invalidated;
+  Codec.w_int b s.closures_compiled;
+  Codec.w_int b s.chained_exits_taken;
+  Codec.w_int b s.chain_unlinks_evict;
+  Codec.w_int b s.chain_unlinks_demote;
+  Codec.w_int b s.chain_unlinks_smc;
+  Codec.w_int b s.chain_unlinks_aot;
+  Codec.w_int b s.chain_unlinks_chaos
 
 let r_stats_into r (s : Cms.Stats.t) =
   let open Cms.Stats in
@@ -229,7 +242,14 @@ let r_stats_into r (s : Cms.Stats.t) =
   s.aot_rejected <- Codec.r_int r;
   s.aot_hits <- Codec.r_int r;
   s.aot_x86_retired <- Codec.r_int r;
-  s.aot_invalidated <- Codec.r_int r
+  s.aot_invalidated <- Codec.r_int r;
+  s.closures_compiled <- Codec.r_int r;
+  s.chained_exits_taken <- Codec.r_int r;
+  s.chain_unlinks_evict <- Codec.r_int r;
+  s.chain_unlinks_demote <- Codec.r_int r;
+  s.chain_unlinks_smc <- Codec.r_int r;
+  s.chain_unlinks_aot <- Codec.r_int r;
+  s.chain_unlinks_chaos <- Codec.r_int r
 
 (* ------------------------------------------------------------------ *)
 (* Vliw.Perf                                                           *)

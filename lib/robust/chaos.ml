@@ -40,6 +40,11 @@ type profile = {
   irq_spoof : int;  (** an in-translation poll reports a phantom IRQ *)
   flush_storm : int;  (** a dispatch boundary full-flushes the tcache *)
   evict_storm : int;  (** a boundary evicts the coldest generation *)
+  unlink_storm : int;
+      (** a boundary forcibly unlinks one chained exit (selected
+          deterministically over {!Cms.Tcache.chained_exits}); the
+          engine must re-chain through the normal patch path with no
+          architectural effect *)
   tiny_caches : bool;  (** scramble capacities with {!scramble_cfg} *)
 }
 
@@ -51,6 +56,7 @@ let default_profile =
     irq_spoof = 15;
     flush_storm = 3;
     evict_storm = 12;
+    unlink_storm = 20;
     tiny_caches = true;
   }
 
@@ -64,6 +70,7 @@ let pressure_only =
     irq_spoof = 0;
     flush_storm = 5;
     evict_storm = 40;
+    unlink_storm = 0;
     tiny_caches = true;
   }
 
@@ -77,6 +84,7 @@ type t = {
   mutable irq_spoofs : int;
   mutable flushes : int;
   mutable evicted : int;
+  mutable unlinks : int;  (** chained exits actually cut by unlink storms *)
 }
 
 let create ?(profile = default_profile) rng =
@@ -88,11 +96,12 @@ let create ?(profile = default_profile) rng =
     irq_spoofs = 0;
     flushes = 0;
     evicted = 0;
+    unlinks = 0;
   }
 
 let injections t =
   t.translator_kills + t.injected_faults + t.irq_spoofs + t.flushes
-  + t.evicted
+  + t.evicted + t.unlinks
 
 (** Shrink the run's capacities so pressure paths fire constantly:
     tcache small enough that real workloads evict, policy table small
@@ -124,6 +133,10 @@ type tap = {
   tap_spoof : int -> unit;  (** nth [irq_spoof] poll *)
   tap_flush : int -> unit;  (** nth dispatch boundary *)
   tap_evict : int -> unit;  (** nth dispatch boundary *)
+  tap_unlink : int -> int -> unit;
+      (** nth dispatch boundary, with the link selector [k] (the RNG
+          draw); recorded even when no link existed to cut — replaying
+          the attempt is then also a no-op *)
 }
 
 (** Arm an engine.  Composes with any already-installed
@@ -153,6 +166,14 @@ let install ?tap t (e : Cms.Engine.t) =
           (match tap with Some tp -> tp.tap_evict n | None -> ());
           t.evicted <-
             t.evicted + Cms.Tcache.evict_coldest e.Cms.Engine.tcache
+        end;
+        if hit t t.profile.unlink_storm then begin
+          (* the selector draws unconditionally so the RNG stream does
+             not depend on tcache state *)
+          let k = Srng.range t.rng 0 65536 in
+          (match tap with Some tp -> tp.tap_unlink n k | None -> ());
+          if Cms.Tcache.unlink_nth e.Cms.Engine.tcache ~k then
+            t.unlinks <- t.unlinks + 1
         end);
   e.Cms.Engine.chaos <-
     Some
@@ -193,5 +214,6 @@ let install ?tap t (e : Cms.Engine.t) =
 
 let pp fmt t =
   Fmt.pf fmt
-    "chaos[kills=%d faults=%d spoofs=%d flushes=%d evicted=%d]"
+    "chaos[kills=%d faults=%d spoofs=%d flushes=%d evicted=%d unlinks=%d]"
     t.translator_kills t.injected_faults t.irq_spoofs t.flushes t.evicted
+    t.unlinks

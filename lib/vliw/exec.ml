@@ -149,33 +149,41 @@ let rec do_load t ~vaddr ~size ~spec ~protect =
     !v
   end
 
+(* All faulting checks for one non-page-crossing store piece, at issue
+   order; returns the physical address the piece will be pushed to.
+   Shared with the closure compiler ({!Closure}) so the two execution
+   engines cannot drift on fault semantics. *)
+let store_checks t ~vaddr ~size ~spec ~check =
+  let paddr = translate t Machine.Mmu.Write vaddr in
+  if spec && Machine.Bus.is_mmio t.mem.Machine.Mem.bus paddr then begin
+    t.perf.Perf.mmio_spec_faults <- t.perf.Perf.mmio_spec_faults + 1;
+    fault (Nexn.Mmio_spec paddr)
+  end;
+  if check <> 0 then (
+    match Alias.check t.alias ~mask:check ~paddr ~len:size with
+    | Some slot ->
+        t.perf.Perf.alias_faults <- t.perf.Perf.alias_faults + 1;
+        if Sys.getenv_opt "CMS_DEBUG_FAULTS" <> None then
+          Fmt.epr "[alias hw] store paddr=%#x len=%d mask=%#x hit slot %d range=%s@."
+            paddr size check slot
+            (match t.alias.Alias.slots.(slot) with
+             | Some (lo, hi) -> Fmt.str "[%#x,%#x)" lo hi
+             | None -> "-");
+        fault (Nexn.Alias_violation slot)
+    | None -> ());
+  (match Machine.Mem.check_store t.mem ~paddr ~len:size with
+  | Some hit ->
+      t.perf.Perf.smc_faults <- t.perf.Perf.smc_faults + 1;
+      fault (Nexn.Smc (hit, paddr))
+  | None -> ());
+  paddr
+
 (* Stores only *stage* pushes (into the molecule effect buffer); the
    push itself happens at molecule end.  All faulting checks happen
    here, at issue. *)
 let rec stage_store t ~vaddr ~size ~value ~spec ~check =
   if size <= Machine.Mem.page_room vaddr then begin
-    let paddr = translate t Machine.Mmu.Write vaddr in
-    if spec && Machine.Bus.is_mmio t.mem.Machine.Mem.bus paddr then begin
-      t.perf.Perf.mmio_spec_faults <- t.perf.Perf.mmio_spec_faults + 1;
-      fault (Nexn.Mmio_spec paddr)
-    end;
-    if check <> 0 then (
-      match Alias.check t.alias ~mask:check ~paddr ~len:size with
-      | Some slot ->
-          t.perf.Perf.alias_faults <- t.perf.Perf.alias_faults + 1;
-          if Sys.getenv_opt "CMS_DEBUG_FAULTS" <> None then
-            Fmt.epr "[alias hw] store paddr=%#x len=%d mask=%#x hit slot %d range=%s@."
-              paddr size check slot
-              (match t.alias.Alias.slots.(slot) with
-               | Some (lo, hi) -> Fmt.str "[%#x,%#x)" lo hi
-               | None -> "-");
-          fault (Nexn.Alias_violation slot)
-      | None -> ());
-    (match Machine.Mem.check_store t.mem ~paddr ~len:size with
-    | Some hit ->
-        t.perf.Perf.smc_faults <- t.perf.Perf.smc_faults + 1;
-        fault (Nexn.Smc (hit, paddr))
-    | None -> ());
+    let paddr = store_checks t ~vaddr ~size ~spec ~check in
     push_eff t (Push { paddr; size; value })
   end
   else
