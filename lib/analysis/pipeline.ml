@@ -56,7 +56,10 @@ let with_reject body =
 let with_collect body =
   let saved = !Cms.Codegen.verify_hook in
   let acc = ref [] in
-  install_collect (fun d -> acc := d :: !acc);
+  (* the background translator domain runs the verifier on its own
+     compiles, so the sink is shared across domains *)
+  let lock = Mutex.create () in
+  install_collect (fun d -> Mutex.protect lock (fun () -> acc := d :: !acc));
   Fun.protect
     ~finally:(fun () -> Cms.Codegen.verify_hook := saved)
     (fun () ->

@@ -1,0 +1,372 @@
+(** The concurrent background translator (ROADMAP item 1).
+
+    The paper's CMS hides translation cost behind execution: the
+    interpreter keeps retiring instructions while hot regions are
+    translated asynchronously.  This module is the host-side
+    realization — a single worker OCaml domain fed by a bounded,
+    deduplicated, profile-priority work queue.
+
+    {b The determinism contract.}  Background translation is a pure
+    wall-clock accelerator; canonical semantics are "as if
+    synchronous".  Three rules enforce that:
+
+    - {b Immutable inputs.}  A request carries an immutable snapshot of
+      everything the compiler needs: the selected region, the policy in
+      force at enqueue, and the source code bytes.  The worker never
+      reads shared engine or machine state — {!Codegen.compile_presnapped}
+      is a deterministic pure function of the job.
+    - {b Canonical install instant.}  The engine consumes a result only
+      at the exact dispatch boundary where synchronous translation
+      would have run (the hotness threshold).  Until then the finished
+      translation sits in the request table, invisible to dispatch.
+    - {b Validate or recompile.}  At install the engine re-derives the
+      canonical inputs (region selection, policy, current code bytes)
+      and compares them against the job.  Any drift — self-modifying
+      code between enqueue and install, policy adaptation, profile-bias
+      reshaping the trace — rejects the background result and the
+      engine compiles synchronously.  Since the compiler is
+      deterministic, a validated hit is bit-identical to the
+      synchronous compile it replaces.
+
+    A fourth rule makes the queue replayable: {b request existence is
+    deterministic}.  Whether an enqueue is accepted, deduplicated or
+    dropped depends only on the engine's own deterministic sequence of
+    [enqueue]/[consume] calls — the capacity bound counts {e
+    unconsumed} requests (released only at the canonical consume
+    instant), never worker progress, and worker death never rejects an
+    enqueue.  Worker timing can therefore only change a request's
+    {e status} (ready / still compiling / failed), every branch of
+    which the consume protocol maps to the same architectural outcome;
+    the set and order of consume events — what the record-replay
+    journal captures as [Bg_arrive] — is identical across record,
+    replay, and any scheduler interleaving.
+
+    Chaos (the {!Cms_robust} layer) dooms individual requests — fail,
+    wedge, delay, or kill the worker domain outright — and every doom
+    degrades to the synchronous fallback, so the demotion ladder and
+    forward progress are untouched.  Record-replay runs the queue in
+    {e virtual} mode: requests are tracked (so install-boundary
+    consume events fire at the recorded instants) but nothing compiles
+    and no domain is spawned — replay is scheduler-free. *)
+
+(** An injected adversity for one request (drawn engine-side from the
+    chaos RNG at enqueue, so the schedule is deterministic; the worker
+    only acts it out). *)
+type doom =
+  | Dfail  (** the compile "crashes": request fails, sync fallback *)
+  | Dwedge
+      (** the compile never finishes: the request is abandoned in a
+          never-completing state and the worker moves on — awaiters
+          must not block on it *)
+  | Ddelay  (** the compile is artificially slowed before completing *)
+  | Ddie
+      (** the worker domain dies mid-request: everything queued behind
+          it fails and the domain exits — no respawn, so the rest of
+          the run degrades to synchronous translation (the
+          translator-death demotion) *)
+
+(** An immutable unit of background work. *)
+type job = {
+  entry : int;
+  region : Region.t;  (** enqueue-time canonical selection *)
+  policy : Policy.t;  (** enqueue-time adaptive policy *)
+  bytes : Bytes.t;  (** enqueue-time source bytes ({!Codegen.take_snapshot} format) *)
+  priority : int;  (** profile count at enqueue; higher compiles first *)
+  doom : doom option;
+  prefetched : bool;  (** branch-target prefetch, not a direct hot leader *)
+}
+
+type status =
+  | Queued
+  | Compiling
+  | Done of Codegen.compiled
+  | Broken  (** compile failed / doomed / worker died: sync fallback *)
+  | Wedged  (** never completes; consume must not block on it *)
+  | Consumed  (** the install boundary took its decision *)
+
+type req = { job : job; mutable status : status }
+
+type t = {
+  cfg : Config.t;
+  lock : Mutex.t;
+  work : Condition.t;  (** worker wakeup: queue non-empty or stopping *)
+  finished : Condition.t;  (** awaiter wakeup: a request left [Compiling] *)
+  reqs : (int, req) Hashtbl.t;  (** entry → lifecycle record *)
+  mutable queue : req list;  (** pending, sorted by descending priority *)
+  mutable live : int;
+      (** unconsumed requests — the deterministically-bounded quantity:
+          incremented at enqueue, decremented only at consume, so the
+          capacity decision never observes worker progress *)
+  mutable busy : int;
+      (** queued + compiling (worker-paced; racy overlap metric only) *)
+  mutable done_held : int;  (** finished results awaiting install *)
+  mutable worker : unit Domain.t option;
+  mutable stopping : bool;  (** quiesce in progress: worker must exit *)
+  mutable dead : bool;  (** the worker domain died (chaos); permanent *)
+  mutable virtual_ : bool;  (** replay mode: track requests, never compile *)
+  (* worker-side tallies, read under [lock] by [counters] *)
+  mutable n_compiled : int;
+  mutable n_failed : int;
+}
+
+let create (cfg : Config.t) =
+  {
+    cfg;
+    lock = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    reqs = Hashtbl.create 64;
+    queue = [];
+    live = 0;
+    busy = 0;
+    done_held = 0;
+    worker = None;
+    stopping = false;
+    dead = false;
+    virtual_ = false;
+    n_compiled = 0;
+    n_failed = 0;
+  }
+
+(** Switch to virtual (replay) mode: requests are recorded and consumed
+    at the same canonical instants, but nothing is compiled and no
+    domain runs — the installing side always takes the synchronous
+    path, which yields the identical translation. *)
+let set_virtual t v = t.virtual_ <- v
+
+(** Racy read used by the dispatcher's overlap accounting (one int
+    load per interpreted instruction; taking the lock there would cost
+    more than the counter is worth, and the counter is normalized out
+    of every digest). *)
+let in_flight t = t.busy
+
+let counters t =
+  Mutex.lock t.lock;
+  let c = (t.n_compiled, t.n_failed) in
+  Mutex.unlock t.lock;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Worker domain                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spin n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+(* Transition a request out of the worker's hands and wake awaiters.
+   Never touches [live]: request existence is the engine's business. *)
+let finish_locked t (r : req) status =
+  r.status <- status;
+  t.busy <- t.busy - 1;
+  (match status with
+  | Done _ ->
+      t.done_held <- t.done_held + 1;
+      t.n_compiled <- t.n_compiled + 1
+  | _ -> t.n_failed <- t.n_failed + 1);
+  Condition.broadcast t.finished
+
+(* Worker body: pop the highest-priority request, act out its doom or
+   compile it from its immutable inputs, publish the outcome.  Every
+   exception is absorbed into [Broken] — the canonical (synchronous)
+   retry at install re-raises whatever matters, at the canonical
+   point, inside the engine's containment boundary. *)
+let worker_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while t.queue = [] && not t.stopping do
+      Condition.wait t.work t.lock
+    done;
+    match t.queue with
+    | [] ->
+        (* stopping with an empty queue *)
+        running := false;
+        Mutex.unlock t.lock
+    | r :: rest -> (
+        t.queue <- rest;
+        r.status <- Compiling;
+        Mutex.unlock t.lock;
+        match r.job.doom with
+        | Some Ddie ->
+            (* translator-domain death: fail the current request, fail
+               everything still queued, and exit the domain.  [dead]
+               stops respawns, so later requests sit [Queued] until the
+               install boundary reclaims them for synchronous use. *)
+            Mutex.lock t.lock;
+            t.dead <- true;
+            finish_locked t r Broken;
+            List.iter (fun q -> finish_locked t q Broken) t.queue;
+            t.queue <- [];
+            running := false;
+            Mutex.unlock t.lock
+        | Some Dwedge ->
+            (* a wedge that still lets the harness join the domain:
+               the request never completes (awaiters see [Wedged] and
+               fall back instead of blocking), the worker moves on *)
+            Mutex.lock t.lock;
+            finish_locked t r Wedged;
+            Mutex.unlock t.lock
+        | Some Dfail ->
+            Mutex.lock t.lock;
+            finish_locked t r Broken;
+            Mutex.unlock t.lock
+        | (Some Ddelay | None) as d ->
+            if d <> None then spin 50_000;
+            let outcome =
+              match
+                Codegen.compile_presnapped ~cfg:t.cfg ~policy:r.job.policy
+                  ~bytes:r.job.bytes r.job.region
+              with
+              | compiled -> Done compiled
+              | exception _ -> Broken
+            in
+            Mutex.lock t.lock;
+            finish_locked t r outcome;
+            Mutex.unlock t.lock)
+  done
+
+(* Lazy spawn, called under [lock].  One domain per engine, joined at
+   the end of every [Engine.run] (OCaml 5 caps live domains; tests
+   create thousands of engines). *)
+let ensure_worker_locked t =
+  if t.worker = None && (not t.dead) && not t.virtual_ then
+    t.worker <- Some (Domain.spawn (fun () -> worker_loop t))
+
+(* ------------------------------------------------------------------ *)
+(* Engine-side API                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Would an enqueue for [entry] be considered?  (Cheap pre-check so
+    the engine skips region selection and snapshotting for entries
+    that already have a live request.)  Deliberately ignores worker
+    state — the answer must be a pure function of the engine's own
+    call history. *)
+let wants t entry =
+  match Hashtbl.find_opt t.reqs entry with
+  | None | Some { status = Consumed; _ } -> true
+  | Some _ -> false
+
+type enq = Accepted | Deduped | Full
+
+let enqueue t (job : job) =
+  Mutex.lock t.lock;
+  let verdict =
+    match Hashtbl.find_opt t.reqs job.entry with
+    | Some { status = Queued | Compiling | Done _ | Broken | Wedged; _ } ->
+        Deduped
+    | None | Some { status = Consumed; _ } ->
+        if t.live >= max 1 t.cfg.Config.bg_queue_capacity then Full
+        else begin
+          let r = { job; status = Queued } in
+          Hashtbl.replace t.reqs job.entry r;
+          (* priority insertion, stable for equal priorities *)
+          let rec ins = function
+            | [] -> [ r ]
+            | r0 :: rest when r0.job.priority >= job.priority ->
+                r0 :: ins rest
+            | rest -> r :: rest
+          in
+          t.queue <- ins t.queue;
+          t.live <- t.live + 1;
+          t.busy <- t.busy + 1;
+          ensure_worker_locked t;
+          Condition.signal t.work;
+          Accepted
+        end
+  in
+  Mutex.unlock t.lock;
+  verdict
+
+(** What the install boundary took from the queue. *)
+type taken = {
+  t_job : job;
+  t_result : Codegen.compiled option;  (** [None]: synchronous fallback *)
+  t_waited : bool;  (** blocked on an in-flight compile *)
+  t_unready : bool;  (** still queued; reclaimed for synchronous use *)
+}
+
+(** Consume [entry]'s request at the canonical install instant.
+    [None] when no live request exists (never enqueued, or already
+    consumed).  A queued request is reclaimed (the engine needs the
+    translation {e now}; compiling synchronously is exactly what it
+    would have done without the queue).  An in-flight compile is
+    awaited — the only blocking point in the design, bounded by one
+    region's compile time; wedged or dead requests never block. *)
+let consume t entry =
+  Mutex.lock t.lock;
+  let out =
+    match Hashtbl.find_opt t.reqs entry with
+    | None | Some { status = Consumed; _ } -> None
+    | Some r ->
+        let taken =
+          match r.status with
+          | Queued ->
+              t.queue <- List.filter (fun q -> q != r) t.queue;
+              t.busy <- t.busy - 1;
+              { t_job = r.job; t_result = None; t_waited = false;
+                t_unready = true }
+          | _ ->
+              let waited = ref false in
+              while
+                (match r.status with Compiling -> true | _ -> false)
+                && not t.dead
+              do
+                waited := true;
+                Condition.wait t.finished t.lock
+              done;
+              let result =
+                match r.status with Done c -> Some c | _ -> None
+              in
+              (match r.status with
+              | Done _ -> t.done_held <- t.done_held - 1
+              | Compiling ->
+                  (* worker died under us mid-transition *)
+                  t.busy <- t.busy - 1
+              | _ -> ());
+              { t_job = r.job; t_result = result; t_waited = !waited;
+                t_unready = false }
+        in
+        r.status <- Consumed;
+        t.live <- t.live - 1;
+        Some taken
+  in
+  Mutex.unlock t.lock;
+  out
+
+(** Finished-but-uninstalled results, as [(entry, compiled)].  The
+    speculation non-interference invariant asserts none of these
+    compiled objects is reachable through the translation cache: a
+    background result must become observable only when the canonical
+    install boundary ships it. *)
+let done_uninstalled t =
+  if t.done_held = 0 then []
+  else begin
+    Mutex.lock t.lock;
+    let l =
+      Hashtbl.fold
+        (fun entry r acc ->
+          match r.status with Done c -> (entry, c) :: acc | _ -> acc)
+        t.reqs []
+    in
+    Mutex.unlock t.lock;
+    l
+  end
+
+(** Stop and join the worker domain (idempotent; called at the end of
+    every [Engine.run], including exceptional exits).  Queued requests
+    survive — a later run's first enqueue respawns the worker and the
+    queue drains from where it left off; finished results stay
+    installable. *)
+let quiesce t =
+  match t.worker with
+  | None -> ()
+  | Some d ->
+      Mutex.lock t.lock;
+      t.stopping <- true;
+      Condition.broadcast t.work;
+      Mutex.unlock t.lock;
+      Domain.join d;
+      t.worker <- None;
+      t.stopping <- false

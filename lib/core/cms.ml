@@ -26,6 +26,7 @@ module Sched = Sched
 module Codegen = Codegen
 module Tcache = Tcache
 module Adapt = Adapt
+module Bgtrans = Bgtrans
 module Smc = Smc
 module Engine = Engine
 

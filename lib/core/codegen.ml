@@ -150,8 +150,15 @@ let take_snapshot mem (region : Region.t) =
     region.Region.src_ranges;
   Buffer.to_bytes b
 
-(** Compile a region under [policy].  [cfg] supplies hardware knobs. *)
-let compile ~(cfg : Config.t) ~(policy : Policy.t) ~mem (region : Region.t) =
+(* The compiler proper, parametric over the source-byte supplier: the
+   synchronous path reads guest memory ({!take_snapshot}); the
+   background translator domain passes bytes captured at enqueue time
+   so the worker never touches shared machine state.  Everything else
+   is a pure deterministic function of (cfg, policy, region, bytes) —
+   which is what makes a validated background result bit-identical to
+   the synchronous compile it replaces. *)
+let compile_with ~(cfg : Config.t) ~(policy : Policy.t)
+    ~(snap : unit -> Bytes.t) (region : Region.t) =
   let entry = region.Region.entry in
   let ir = Lower.lower ~policy region in
   let items = Ir.items ir in
@@ -164,7 +171,7 @@ let compile ~(cfg : Config.t) ~(policy : Policy.t) ~mem (region : Region.t) =
     policy.Policy.self_check || policy.Policy.self_reval
     || not (Policy.ISet.is_empty policy.Policy.stylized_imms)
   in
-  let snapshot = if want_snapshot then Some (take_snapshot mem region) else None in
+  let snapshot = if want_snapshot then Some (snap ()) else None in
   let items =
     if policy.Policy.self_check then begin
       let snapshot = Option.get snapshot in
@@ -276,6 +283,17 @@ let compile ~(cfg : Config.t) ~(policy : Policy.t) ~mem (region : Region.t) =
   run_verifier ~cfg (fun v ->
       v.verify_code ~cfg ~entry ~ninsns:(Region.instruction_count region) code);
   { code; snapshot; opt_stats; unprotected = use_guards }
+
+(** Compile a region under [policy].  [cfg] supplies hardware knobs. *)
+let compile ~cfg ~policy ~mem (region : Region.t) =
+  compile_with ~cfg ~policy ~snap:(fun () -> take_snapshot mem region) region
+
+(** Compile from pre-captured source bytes (the background translator
+    worker, which must not read guest memory concurrently with the
+    interpreter).  [bytes] is the {!take_snapshot}-format concatenation
+    of the region's source ranges, captured at enqueue time. *)
+let compile_presnapped ~cfg ~policy ~bytes (region : Region.t) =
+  compile_with ~cfg ~policy ~snap:(fun () -> bytes) region
 
 (** A zero-instruction translation: interpret one instruction at
     [entry], then continue dispatch. *)

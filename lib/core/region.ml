@@ -53,6 +53,17 @@ let merge_ranges ranges =
   in
   go [] sorted
 
+(** Structural equality of two selected regions.  Used by the install
+    boundary of the background translator to detect drift between an
+    enqueue-time selection and the canonical install-time one: profile
+    bias or policy changes can reshape the trace even over unchanged
+    bytes.  [insn_info] is plain data (no closures, sets or floats),
+    so polymorphic equality is exact. *)
+let equal (a : t) (b : t) =
+  a.entry = b.entry && a.cont = b.cont
+  && a.src_ranges = b.src_ranges
+  && a.insns = b.insns
+
 (** Does [addr] fall inside the region's source bytes? *)
 let contains t addr =
   List.exists (fun (lo, hi) -> addr >= lo && addr < hi) t.src_ranges

@@ -140,6 +140,18 @@ let lookup t entry =
         Some tr
     | _ -> None
 
+(** Like {!lookup} but without refreshing the generation stamp.  The
+    background translator's enqueue path probes with this: a
+    speculative prefetch check must not warm a record, or eviction
+    order under capacity pressure would diverge between background-on
+    and background-off runs. *)
+let probe t entry =
+  if Hashtbl.length t.by_entry = 0 then None
+  else
+    match Hashtbl.find_opt t.by_entry entry with
+    | Some tr when tr.valid -> Some tr
+    | _ -> None
+
 let by_id t id =
   match Hashtbl.find_opt t.by_id id with
   | Some tr when tr.valid -> Some tr

@@ -28,8 +28,9 @@ let stale fmt = Format.kasprintf (fun s -> raise (Stale s)) fmt
 
 let kind = "AOTC"
 
-(* version 2: the embedded Config grew closure_exec/chain_exits. *)
-let version = 2
+(* version 2: the embedded Config grew closure_exec/chain_exits.
+   version 3: Config grew background_translation/bg_queue_capacity. *)
+let version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Image model                                                         *)

@@ -36,8 +36,10 @@ exception Inconsistent of string
 
 (* version 2: the embedded Stats record grew the AOT counters.
    version 3: Config grew closure_exec/chain_exits, Stats the
-   closure/chaining counters. *)
-let version = 3
+   closure/chaining counters.
+   version 4: Config grew background_translation/bg_queue_capacity,
+   Stats the background-translation counters. *)
+let version = 4
 let kind = "SNAP"
 
 let consistent (c : Cms.t) =

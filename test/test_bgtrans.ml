@@ -1,0 +1,311 @@
+(* Background-translator battery: the queue's deterministic contract
+   (bound / dedup / priority / steal), the install boundary (a
+   validated result ships, a stale one — SMC between enqueue and
+   install — is demoted to a synchronous recompile), the 28-workload
+   bg-on/bg-off differential (arch and strict digests identical: the
+   worker domain is a pure wall-clock accelerator), a 100-case chaos
+   record-replay slice with background translation on, and the
+   combined chaos x chain x bgtrans smoke. *)
+
+open Cms_fuzz
+module Bg = Cms.Bgtrans
+module Suite = Workloads.Suite
+module D = Cms_persist.Digests
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Queue unit tests (virtual mode: no domain, pure data structure)     *)
+(* ------------------------------------------------------------------ *)
+
+let mk_region ~entry =
+  {
+    Cms.Region.entry;
+    insns = [||];
+    cont = None;
+    src_ranges = [ (entry, entry + 8) ];
+  }
+
+let mk_job ?(priority = 0) entry =
+  {
+    Bg.entry;
+    region = mk_region ~entry;
+    policy = Cms.Policy.default Cms.Config.default;
+    bytes = Bytes.create 8;
+    priority;
+    doom = None;
+    prefetched = false;
+  }
+
+let mk_queue ?(capacity = 3) () =
+  let bg =
+    Bg.create { Cms.Config.default with Cms.Config.bg_queue_capacity = capacity }
+  in
+  Bg.set_virtual bg true;
+  bg
+
+let test_queue_bound () =
+  let bg = mk_queue ~capacity:3 () in
+  check cb "1 accepted" true (Bg.enqueue bg (mk_job 0x1000) = Bg.Accepted);
+  check cb "2 accepted" true (Bg.enqueue bg (mk_job 0x2000) = Bg.Accepted);
+  check cb "3 accepted" true (Bg.enqueue bg (mk_job 0x3000) = Bg.Accepted);
+  check cb "4 over capacity" true (Bg.enqueue bg (mk_job 0x4000) = Bg.Full);
+  (* capacity counts unconsumed requests: consuming one frees a slot *)
+  check cb "one consumed" true (Bg.consume bg 0x2000 <> None);
+  check cb "slot freed" true (Bg.enqueue bg (mk_job 0x4000) = Bg.Accepted)
+
+let test_queue_dedup () =
+  let bg = mk_queue () in
+  check cb "first accepted" true (Bg.enqueue bg (mk_job 0x1000) = Bg.Accepted);
+  check cb "second deduped" true (Bg.enqueue bg (mk_job 0x1000) = Bg.Deduped);
+  check cb "wants is false while live" false (Bg.wants bg 0x1000);
+  (* after the install boundary consumed it, the entry may be
+     re-requested (retranslation after demotion / eviction) *)
+  ignore (Bg.consume bg 0x1000);
+  check cb "wants again after consume" true (Bg.wants bg 0x1000);
+  check cb "re-enqueue accepted" true (Bg.enqueue bg (mk_job 0x1000) = Bg.Accepted)
+
+let test_queue_priority () =
+  let bg = mk_queue ~capacity:8 () in
+  ignore (Bg.enqueue bg (mk_job ~priority:5 0x1000));
+  ignore (Bg.enqueue bg (mk_job ~priority:9 0x2000));
+  ignore (Bg.enqueue bg (mk_job ~priority:7 0x3000));
+  ignore (Bg.enqueue bg (mk_job ~priority:7 0x4000));
+  let order = List.map (fun r -> r.Bg.job.Bg.entry) bg.Bg.queue in
+  (* descending priority, stable for ties *)
+  check (Alcotest.list ci) "profile-priority order"
+    [ 0x2000; 0x3000; 0x4000; 0x1000 ] order
+
+let test_queue_steal () =
+  let bg = mk_queue () in
+  ignore (Bg.enqueue bg (mk_job 0x1000));
+  (match Bg.consume bg 0x1000 with
+  | Some tk ->
+      check cb "reclaimed while queued" true tk.Bg.t_unready;
+      check cb "no result from a steal" true (tk.Bg.t_result = None);
+      check cb "steal does not wait" false tk.Bg.t_waited
+  | None -> Alcotest.fail "live request not consumed");
+  check cb "double consume is None" true (Bg.consume bg 0x1000 = None);
+  check cb "absent entry is None" true (Bg.consume bg 0x9000 = None)
+
+let test_worker_lifecycle () =
+  (* a real (non-virtual) queue: whatever the worker managed to do by
+     the time we consume — steal, wait, done, broken — consume returns
+     without deadlock, and quiesce joins the domain *)
+  let bg = Bg.create Cms.Config.default in
+  ignore (Bg.enqueue bg (mk_job 0x1000));
+  check cb "consume returns" true (Bg.consume bg 0x1000 <> None);
+  Bg.quiesce bg;
+  check cb "worker joined" true (bg.Bg.worker = None)
+
+(* ------------------------------------------------------------------ *)
+(* Install boundary: validated install vs stale rejection              *)
+(* ------------------------------------------------------------------ *)
+
+let loop_base = 0x1000
+(* mov ebx,imm sits at loop head +0; its imm32 at [l+1 .. l+5) is the
+   SMC target *)
+let loop_head = loop_base + 10
+
+let stale_listing ~iters ~imm =
+  X86.Asm.(
+    assemble ~base:loop_base
+      [
+        mov_ri eax 0;
+        mov_ri ebp iters;
+        label "l";
+        mov_ri ebx imm;
+        dec_r ebp;
+        jne "l";
+        hlt;
+      ])
+
+let stale_cfg =
+  { Cms.Config.default with Cms.Config.translate_threshold = 16 }
+
+(* Drive the loop until the leader has crossed the prefetch threshold
+   (the engine enqueues a background request) but not the hotness
+   threshold; the queue is virtual, so the request sits untouched.
+   Returns the engine and the request. *)
+let prepare_install_case () =
+  let c = Cms.create ~cfg:stale_cfg () in
+  Cms.load c (stale_listing ~iters:200 ~imm:0x11);
+  Cms.boot c ~entry:loop_base;
+  Cms.Engine.set_bg_virtual c true;
+  (* 2 prologue insns + 10 iterations x 3 insns: leader count 10, in
+     [threshold/2, threshold) *)
+  (match Cms.run ~max_insns:32 c with
+  | Cms.Engine.Insn_limit -> ()
+  | _ -> Alcotest.fail "phase 1 should stop on the instruction limit");
+  let bg =
+    match c.Cms.Engine.bg with
+    | Some bg -> bg
+    | None -> Alcotest.fail "background translation off?"
+  in
+  check cb "leader request enqueued" false (Bg.wants bg loop_head);
+  let r = Hashtbl.find bg.Bg.reqs loop_head in
+  (c, bg, r)
+
+(* Act out the worker's completion of [r] from its enqueue-time
+   immutable inputs — under the lock, exactly the transition
+   [finish_locked] performs. *)
+let complete_from_job (bg : Bg.t) (r : Bg.req) =
+  let j = r.Bg.job in
+  let compiled =
+    Cms.Codegen.compile_presnapped ~cfg:stale_cfg ~policy:j.Bg.policy
+      ~bytes:j.Bg.bytes j.Bg.region
+  in
+  Mutex.lock bg.Bg.lock;
+  bg.Bg.queue <- List.filter (fun q -> q != r) bg.Bg.queue;
+  r.Bg.status <- Bg.Done compiled;
+  bg.Bg.busy <- bg.Bg.busy - 1;
+  bg.Bg.done_held <- bg.Bg.done_held + 1;
+  Mutex.unlock bg.Bg.lock
+
+let finish (c : Cms.t) =
+  match Cms.run ~max_insns:1_000_000 c with
+  | Cms.Engine.Halted -> Cms.stats c
+  | _ -> Alcotest.fail "loop did not halt"
+
+let test_validated_install () =
+  let c, bg, r = prepare_install_case () in
+  complete_from_job bg r;
+  let s = finish c in
+  check ci "background result shipped" 1 s.Cms.Stats.bg_installed;
+  check ci "nothing stale" 0 s.Cms.Stats.bg_stale;
+  check ci "loop semantics" 0x11 (Cms.gpr c X86.Regs.ebx)
+
+let test_stale_install_rejected () =
+  let c, bg, r = prepare_install_case () in
+  (* SMC between enqueue and install: patch the loop's mov immediate
+     after the request captured its snapshot *)
+  Machine.Mem.write (Cms.mem c) ~size:4 (loop_head + 1) 0x22;
+  complete_from_job bg r;
+  let s = finish c in
+  check ci "stale result demoted" 1 s.Cms.Stats.bg_stale;
+  check ci "stale result not shipped" 0 s.Cms.Stats.bg_installed;
+  (* the synchronous recompile read post-SMC bytes: new semantics *)
+  check ci "post-SMC semantics" 0x22 (Cms.gpr c X86.Regs.ebx)
+
+(* ------------------------------------------------------------------ *)
+(* 28-workload bg-on / bg-off differential                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_workloads () =
+  Workloads.Progs_boot.all @ Workloads.Progs_spec.all
+  @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
+  @ [ Workloads.Progs_quake.blt_driver () ]
+
+let installs = ref 0
+
+let differential (w : Suite.t) () =
+  let run bg =
+    Suite.run
+      ~cfg:{ Cms.Config.default with Cms.Config.background_translation = bg }
+      w
+  in
+  let on = run true and off = run false in
+  check Alcotest.string
+    (w.Suite.name ^ ": arch digest, bg on vs off")
+    (D.arch_hex (D.arch off))
+    (D.arch_hex (D.arch on));
+  check Alcotest.string
+    (w.Suite.name ^ ": strict digest, bg on vs off")
+    (D.strict_hex (D.strict off))
+    (D.strict_hex (D.strict on));
+  check cb (w.Suite.name ^ ": identical perf") true
+    (Cms.perf on = Cms.perf off);
+  installs := !installs + (Cms.stats on).Cms.Stats.bg_installed
+
+let differential_tests =
+  List.map
+    (fun w -> Alcotest.test_case w.Suite.name `Slow (differential w))
+    (all_workloads ())
+
+(* The differential is only meaningful if the background path actually
+   shipped translations somewhere in the corpus (a workload-by-workload
+   guarantee would overfit worker timing; the aggregate may not be
+   zero).  Runs after the per-workload cases. *)
+let test_background_path_exercised () =
+  check cb
+    (Fmt.str "background installs across the corpus (%d)" !installs)
+    true (!installs > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos record-replay with background translation on                  *)
+(* ------------------------------------------------------------------ *)
+
+(* 100 generated cases under seeded chaos (whose default profile dooms
+   background requests: worker deaths, wedges, fails, delays) with the
+   translator config's background queue on.  Each case is recorded,
+   then replayed RNG-free in virtual-queue mode; the journal's
+   [Bg_arrive] stream is verified event-for-event and the final
+   fingerprints must be bit-identical. *)
+let test_chaos_record_replay_bg () =
+  let root = Srng.create 7 in
+  for index = 0 to 99 do
+    let rng = Srng.split root in
+    let case = Gen.generate rng ~seed:7 ~index in
+    let chaos_seed = Srng.int32 rng in
+    match Oracle.check_record_replay (Oracle.render ~chaos:chaos_seed case) with
+    | Oracle.Pass -> ()
+    | Oracle.Hang -> ()
+    | Oracle.Divergence d -> Alcotest.failf "bg chaos case %d: %s" index d
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Combined chaos x chain x bgtrans smoke                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The chaos differential (clean interpreter vs chaos-scrambled
+   translator) with chained exits, closure execution and the
+   background queue all on — the configuration every piece of this PR
+   must coexist under.  Architectural equality is the whole check. *)
+let test_chaos_chain_bg_smoke () =
+  let root = Srng.create 97 in
+  for index = 0 to 14 do
+    let rng = Srng.split root in
+    let case = Gen.generate rng ~seed:97 ~index in
+    let seed = Srng.int32 rng in
+    match Oracle.check (Oracle.render ~chaos:seed case) with
+    | Oracle.Pass | Oracle.Hang -> ()
+    | Oracle.Divergence d ->
+        Alcotest.failf "chaos x chain x bgtrans case %d: %s" index d
+  done
+
+let suites =
+  [
+    ( "bgtrans.queue",
+      [
+        Alcotest.test_case "capacity bound" `Quick test_queue_bound;
+        Alcotest.test_case "dedup" `Quick test_queue_dedup;
+        Alcotest.test_case "priority order" `Quick test_queue_priority;
+        Alcotest.test_case "steal-consume" `Quick test_queue_steal;
+        Alcotest.test_case "worker lifecycle" `Quick test_worker_lifecycle;
+      ] );
+    ( "bgtrans.install",
+      [
+        Alcotest.test_case "validated install ships" `Quick
+          test_validated_install;
+        Alcotest.test_case "stale install rejected (SMC)" `Quick
+          test_stale_install_rejected;
+      ] );
+    ( "bgtrans.differential",
+      differential_tests
+      @ [
+          Alcotest.test_case "background path exercised" `Slow
+            test_background_path_exercised;
+        ] );
+    ( "bgtrans.replay",
+      [
+        Alcotest.test_case "chaos record-replay, bg on (100 cases)" `Slow
+          test_chaos_record_replay_bg;
+      ] );
+    ( "bgtrans.smoke",
+      [
+        Alcotest.test_case "chaos x chain x bgtrans" `Slow
+          test_chaos_chain_bg_smoke;
+      ] );
+  ]

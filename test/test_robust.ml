@@ -53,6 +53,15 @@ let run_loop ?(arm = fun (_ : Cms.t) -> ()) ~iters cfg =
   let c = Cms.create ~cfg () in
   Cms.load c (loop_listing ~iters);
   Cms.boot c ~entry:loop_base;
+  (* standing speculation non-interference invariant: every rollback
+     in every robustness scenario must leave no speculative state —
+     shadow registers, gated stores, armed alias ranges, uninstalled
+     background translations — architecturally observable *)
+  c.Cms.Engine.on_rollback <-
+    Some
+      (fun () ->
+        if Cms.Engine.speculation_visible c then
+          Alcotest.fail "speculative state visible after rollback");
   arm c;
   let stop = Cms.run ~max_insns:1_000_000 c in
   check cb "halted" true (stop = Cms.Engine.Halted);
@@ -77,6 +86,7 @@ let test_containment () =
                 (fun _ -> failwith "injected translator death");
               pre_exec = (fun _ -> None);
               irq_spoof = (fun () -> false);
+              bg_doom = (fun _ -> None);
             })
   in
   let s = Cms.stats c in
@@ -113,6 +123,7 @@ let test_forward_progress () =
               Cms.Engine.on_translate = (fun _ -> ());
               pre_exec = (fun _ -> Some (Vliw.Nexn.Alias_violation 0));
               irq_spoof = (fun () -> false);
+              bg_doom = (fun _ -> None);
             })
   in
   let s = Cms.stats c in
@@ -150,6 +161,7 @@ let test_spoof_storm_watchdog () =
               Cms.Engine.on_translate = (fun _ -> ());
               pre_exec = (fun _ -> None);
               irq_spoof = (fun () -> true);
+              bg_doom = (fun _ -> None);
             })
   in
   let s = Cms.stats c in
