@@ -597,6 +597,114 @@ let run_bgtrans ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Interrupt-storm throughput (bench storm)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep packet arrival rate against the RX-server kernel: a fixed
+   frame set arrives with varying retired-clock spacing through the
+   journal's gated installer, and we measure translated throughput
+   (retired insns/sec) and the asynchronous-rollback rate (interrupts
+   that aborted an in-flight translation, per million retired insns)
+   as delivery pressure rises.  Every run self-validates its checksum,
+   so the numbers come from provably correct executions. *)
+let run_storm ~json () =
+  let reps = 3 in
+  let nframes = 120 in
+  let frame i =
+    String.init 32 (fun k -> Char.chr (((i * 37) + (k * 11) + 5) land 0xff))
+  in
+  let frames = List.init nframes frame in
+  let w = Workloads.Progs_kernel.kernel_rx frames in
+  let gaps = [ 400; 1_000; 2_500; 6_000; 15_000 ] in
+  let row gap =
+    let events =
+      List.mapi
+        (fun i data -> Cms_persist.Journal.Pkt { at = 2_000 + (i * gap); data })
+        frames
+    in
+    let run () =
+      let t0 = Unix.gettimeofday () in
+      let c = Workloads.Suite.prepare ~cfg:Cms.Config.default w in
+      ignore
+        (Cms_persist.Journal.install_guest c events
+          : Cms_persist.Journal.injector);
+      let c = Workloads.Suite.run_prepared w c in
+      (Unix.gettimeofday () -. t0, c)
+    in
+    let dt, c = best_of reps run in
+    (gap, dt, c)
+  in
+  let rows = List.map row gaps in
+  pr "=== Interrupt-storm throughput (RX-server kernel, %d frames) ===@."
+    nframes;
+  let derived (gap, dt, c) =
+    let s = Cms.stats c in
+    let retired = Cms.retired c in
+    let ips = float_of_int retired /. dt in
+    let arrivals_per_mi =
+      1_000_000.0 *. float_of_int nframes /. float_of_int retired
+    in
+    let rollbacks_per_mi =
+      1_000_000.0 *. float_of_int s.Cms.Stats.irq_rollbacks
+      /. float_of_int retired
+    in
+    (gap, dt, retired, ips, arrivals_per_mi, rollbacks_per_mi, s)
+  in
+  let rows = List.map derived rows in
+  List.iter
+    (fun (gap, dt, retired, ips, apm, rpm, s) ->
+      pr
+        "  gap %6d: %.3fs retired=%d (%.2fM insns/s)  arrivals/Mi=%.1f \
+         irq[delivered=%d rollbacks=%d (%.1f/Mi) deferred=%d]  \
+         nic[rx=%d drops=%d irqs=%d coalesced=%d]@."
+        gap dt retired (ips /. 1e6) apm s.Cms.Stats.irq_delivered
+        s.Cms.Stats.irq_rollbacks rpm s.Cms.Stats.irq_deferred
+        s.Cms.Stats.nic_rx_frames s.Cms.Stats.nic_rx_dropped
+        s.Cms.Stats.nic_irqs s.Cms.Stats.nic_irq_coalesced)
+    rows;
+  (* backpressure sanity: the gated installer never overruns the ring *)
+  List.iter
+    (fun (gap, _, _, _, _, _, s) ->
+      if s.Cms.Stats.nic_rx_dropped > 0 then begin
+        Fmt.epr "bench storm: gap %d dropped %d frames through the gated \
+                 installer@."
+          gap s.Cms.Stats.nic_rx_dropped;
+        exit 1
+      end)
+    rows;
+  if json then begin
+    let oc = open_out "BENCH_storm.json" in
+    let j = Fmt.str in
+    let row_json (gap, dt, retired, ips, apm, rpm, s) =
+      j
+        "    { \"gap_insns\": %d, \"seconds\": %.6f, \"retired\": %d, \
+         \"insns_per_sec\": %.1f, \"arrivals_per_minsn\": %.2f, \
+         \"irq_delivered\": %d, \"irq_rollbacks\": %d, \
+         \"rollbacks_per_minsn\": %.2f, \"irq_deferred\": %d, \
+         \"nic_rx\": %d, \"nic_drops\": %d, \"nic_irqs\": %d, \
+         \"nic_irq_coalesced\": %d }"
+        gap dt retired ips apm s.Cms.Stats.irq_delivered
+        s.Cms.Stats.irq_rollbacks rpm s.Cms.Stats.irq_deferred
+        s.Cms.Stats.nic_rx_frames s.Cms.Stats.nic_rx_dropped
+        s.Cms.Stats.nic_irqs s.Cms.Stats.nic_irq_coalesced
+    in
+    output_string oc
+      (j
+         "{\n\
+         \  \"bench\": \"storm\",\n\
+         \  \"workload\": %S,\n\
+         \  \"frames\": %d,\n\
+         \  \"rates\": [\n\
+          %s\n\
+         \  ]\n\
+          }\n"
+         w.Workloads.Suite.name nframes
+         (String.concat ",\n" (List.map row_json rows)));
+    close_out oc;
+    pr "  wrote BENCH_storm.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Fast-path smoke check (CI: dune build @bench-smoke)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -671,7 +779,8 @@ let all () =
   run_hotpath ~json:false ();
   run_persist ();
   run_aot ~json:false ();
-  run_bgtrans ~json:false ()
+  run_bgtrans ~json:false ();
+  run_storm ~json:false ()
 
 let () =
   let json =
@@ -701,11 +810,13 @@ let () =
   | "persist" -> run_persist ()
   | "aot" -> run_aot ~json ()
   | "bgtrans" -> run_bgtrans ~json ()
+  | "storm" -> run_storm ~json ()
   | "smoke" -> run_smoke ()
   | "all" -> all ()
   | other ->
       Fmt.epr
         "unknown experiment %S; one of: fig2 fig3 table1 selfcheck selfreval \
-         groups flow ablations micro hotpath persist aot bgtrans smoke all@."
+         groups flow ablations micro hotpath persist aot bgtrans storm smoke \
+         all@."
         other;
       exit 1

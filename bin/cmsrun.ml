@@ -9,6 +9,7 @@ let all_workloads () =
   Workloads.Progs_boot.all @ Workloads.Progs_spec.all
   @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
   @ [ Workloads.Progs_quake.blt_driver () ]
+  @ Workloads.Progs_kernel.all
 
 let find_workload name =
   List.find_opt (fun w -> w.Suite.name = name) (all_workloads ())
@@ -36,6 +37,7 @@ let report ~stats ~verbose w t =
     Fmt.pr "chain: %a@." Cms.Stats.pp_chain s;
     Fmt.pr "bgtrans: %a@." Cms.Stats.pp_bgtrans s;
     Fmt.pr "recovery: %a@." Cms.Stats.pp_recovery s;
+    Fmt.pr "irq: %a@." Cms.Stats.pp_irq s;
     Fmt.pr "persist: %a@." Cms.Stats.pp_persist s
   end;
   if verbose then begin

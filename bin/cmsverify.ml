@@ -13,6 +13,7 @@ let all_workloads () =
   Workloads.Progs_boot.all @ Workloads.Progs_spec.all
   @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
   @ [ Workloads.Progs_quake.blt_driver () ]
+  @ Workloads.Progs_kernel.all
 
 (* Sweep every pre-minted translation in an AOT image through the
    static verifier — the offline counterpart of the build-time mandatory

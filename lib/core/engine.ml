@@ -698,6 +698,7 @@ let run_translation t (tr : Tcache.trans) =
 let wakeup_possible t =
   t.plat.Machine.Platform.timer.Machine.Timer.period > 0
   || t.plat.Machine.Platform.disk.Machine.Disk.busy > 0
+  || Machine.Nic.active t.plat.Machine.Platform.nic
 
 (** Copy the machine-layer fast-path counters into {!Stats}.  They
     accumulate in [Mmu.t]/[Mem.t] (the machine library cannot see the
@@ -719,6 +720,15 @@ let sync_host_stats t =
   t.stats.Stats.chain_unlinks_smc <- t.tcache.Tcache.unlinks_smc;
   t.stats.Stats.chain_unlinks_aot <- t.tcache.Tcache.unlinks_aot;
   t.stats.Stats.chain_unlinks_chaos <- t.tcache.Tcache.unlinks_chaos;
+  let irq = t.plat.Machine.Platform.irq in
+  t.stats.Stats.irq_raised <- irq.Machine.Irq.raised_total;
+  t.stats.Stats.irq_deferred <- irq.Machine.Irq.deferred_total;
+  let nic = t.plat.Machine.Platform.nic in
+  t.stats.Stats.nic_rx_frames <- nic.Machine.Nic.rx_frames;
+  t.stats.Stats.nic_tx_frames <- nic.Machine.Nic.tx_frames;
+  t.stats.Stats.nic_rx_dropped <- nic.Machine.Nic.rx_dropped;
+  t.stats.Stats.nic_irqs <- nic.Machine.Nic.irqs_raised;
+  t.stats.Stats.nic_irq_coalesced <- nic.Machine.Nic.irqs_coalesced;
   match t.bg with
   | Some bg ->
       let compiled, failed = Bgtrans.counters bg in

@@ -124,6 +124,21 @@ type t = {
       (** x86 instructions the interpreter retired while at least one
           background request was in flight (the overlap the paper's
           asynchronous translator buys) *)
+  (* --- interrupt pressure (device raises vs. CPU delivery; mirrors of
+     deterministic machine-side counters, synced by the engine) --- *)
+  mutable irq_raised : int;  (** device raises latched by the PIC *)
+  mutable irq_deferred : int;
+      (** raises that could not become a fresh delivery immediately:
+          the line was already latched or masked, so the raise merged
+          into the pending latch (delivery deferred) *)
+  mutable nic_rx_frames : int;  (** frames delivered into the RX ring *)
+  mutable nic_tx_frames : int;  (** frames transmitted from the TX ring *)
+  mutable nic_rx_dropped : int;
+      (** frames dropped by backpressure: backlog overflow or an
+          unarmed RX ring at drain time *)
+  mutable nic_irqs : int;  (** interrupts the NIC actually raised *)
+  mutable nic_irq_coalesced : int;
+      (** RX interrupts suppressed by the mitigation register *)
 }
 
 let create () =
@@ -192,6 +207,13 @@ let create () =
     bg_unready = 0;
     bg_failed = 0;
     bg_overlap_insns = 0;
+    irq_raised = 0;
+    irq_deferred = 0;
+    nic_rx_frames = 0;
+    nic_tx_frames = 0;
+    nic_rx_dropped = 0;
+    nic_irqs = 0;
+    nic_irq_coalesced = 0;
   }
 
 let charge t m = t.charged_molecules <- t.charged_molecules + m
@@ -264,6 +286,17 @@ let pp_bgtrans fmt t =
     t.bg_enqueued t.bg_prefetched t.bg_deduped t.bg_dropped t.bg_compiled
     t.bg_installed t.bg_stale t.bg_waits t.bg_unready t.bg_failed
     t.bg_overlap_insns
+
+(** Interrupt-pressure counters: device raises vs. CPU deliveries,
+    rollbacks forced by asynchronous events, and the NIC's frame /
+    backpressure / coalescing accounting. *)
+let pp_irq fmt t =
+  Fmt.pf fmt
+    "irq[raised=%d delivered=%d deferred=%d rollbacks=%d] \
+     nic[rx=%d tx=%d dropped=%d irqs=%d coalesced=%d]"
+    t.irq_raised t.irq_delivered t.irq_deferred t.irq_rollbacks
+    t.nic_rx_frames t.nic_tx_frames t.nic_rx_dropped t.nic_irqs
+    t.nic_irq_coalesced
 
 (** AOT counters: what the static pass shipped and how much of the run
     it actually carried (AOT hits vs dynamic retranslations). *)

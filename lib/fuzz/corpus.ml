@@ -76,7 +76,11 @@ let write_string (r : Oracle.rendered) ~seed ~comment =
         | Inject.Dma { addr; data } ->
             Fmt.str "event dma 0x%x %s\n" addr (to_hex data)
         | Inject.Prot { virt; writable } ->
-            Fmt.str "event prot 0x%x %d\n" virt (if writable then 1 else 0)))
+            Fmt.str "event prot 0x%x %d\n" virt (if writable then 1 else 0)
+        | Inject.Pkt { at; data } ->
+            Fmt.str "event pkt %d %s\n" at (to_hex data)
+        | Inject.Dma_at { at; addr; data } ->
+            Fmt.str "event dmaat %d 0x%x %s\n" at addr (to_hex data)))
     r.Oracle.events;
   Buffer.contents b
 
@@ -142,6 +146,17 @@ let load path : Oracle.rendered * int =
             events :=
               Inject.Prot
                 { virt = int_of_string virt; writable = int_of_string w <> 0 }
+              :: !events
+        | [ "event"; "pkt"; at; hex ] ->
+            events :=
+              Inject.Pkt { at = int_of_string at; data = of_hex hex }
+              :: !events
+        | [ "event"; "dmaat"; at; addr; hex ] ->
+            events :=
+              Inject.Dma_at
+                { at = int_of_string at;
+                  addr = int_of_string addr;
+                  data = of_hex hex }
               :: !events
         | _ -> parse_error path line "unrecognized directive")
     lines;

@@ -157,7 +157,7 @@ let exemplars : t list =
       [ Lidt m1 ];
     ]
 
-let event_keys = [ "ev.irq"; "ev.dma"; "ev.prot" ]
+let event_keys = [ "ev.irq"; "ev.dma"; "ev.prot"; "ev.pkt"; "ev.dma_at" ]
 
 let all_keys =
   List.sort_uniq compare (List.map key exemplars) @ event_keys

@@ -58,6 +58,16 @@ let unmapped_base = 0x300000 (* beyond the 2 MiB identity map *)
 
 let irq_lines = 4
 
+(* NIC front (packet-arrival events): a static RX ring programmed once
+   in the prologue — descriptors and buffers live just past the scratch
+   window, where no random slot and no sync DMA event can touch them,
+   so ring contents are a pure function of the delivered frame list. *)
+let nic_ring = 0x49000 (* descriptor area *)
+let nic_bufs = 0x49100 (* frame buffers *)
+let nic_slots = 4
+let nic_buf_cap = 64
+let nic_cell = cells + 16 + (4 * irq_lines) (* NIC IRQ deliveries *)
+
 (* ------------------------------------------------------------------ *)
 (* Case structure                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -80,6 +90,10 @@ type prog = {
   blocks : block list;
   funcs : func list;
   has_irq : bool;  (** prologue STI + handler re-enable *)
+  nic : int option;
+      (** NIC front armed, with this mitigation-register value: the
+          prologue programs a static [nic_slots]-descriptor RX ring and
+          enables the device, and packet-arrival events may inject *)
 }
 
 type case = {
@@ -525,7 +539,7 @@ let gen_slot rng ~n_blocks ~funcs_ret ~in_func ~fuzz_port =
 (* Program generation                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let generate_prog rng ~fuzz_port ~has_irq =
+let generate_prog rng ~fuzz_port ~has_irq ~nic =
   let n_blocks = Srng.range rng 3 7 in
   let n_funcs = Srng.range rng 0 3 in
   let ret_imms =
@@ -556,7 +570,7 @@ let generate_prog rng ~fuzz_port ~has_irq =
                   ~fuzz_port);
         })
   in
-  { blocks; funcs; has_irq }
+  { blocks; funcs; has_irq; nic }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering: prog -> Asm items                                        *)
@@ -567,10 +581,12 @@ let generate_prog rng ~fuzz_port ~has_irq =
    INT3 (trap), INT 0x30 (trap) and the PIC vectors 0x20.. get
    transparent counting handlers. *)
 let idt_entries ~has_irq:_ =
+  let nic_vector = 0x20 + Machine.Platform.nic_irq_line in
   List.init 0x40 (fun v ->
       if v = 3 then "h_bp"
       else if v = 0x30 then "h_int"
       else if v >= 0x20 && v < 0x20 + irq_lines then Fmt.str "h_irq_%d" (v - 0x20)
+      else if v = nic_vector then "h_nic"
       else "h_fault")
 
 (** Render a program to an assemble-ready item list.  [entry] is
@@ -589,6 +605,26 @@ let render (p : prog) : item list =
     @ [ label "ftab";
         dd_l (List.mapi (fun i _ -> Fmt.str "f_%d" i) p.funcs) ]
     @ [ label "start"; mov_rl eax "idtptr"; lidt (mb eax) ]
+    (* static RX ring + device enable, before the random blocks run:
+       no random slot can reach the NIC window, so ring geometry is
+       fixed for the whole run and packet delivery (gated on an armed
+       descriptor) is configuration-independent *)
+    @ (match p.nic with
+      | None -> []
+      | Some mit ->
+          List.concat
+            (List.init nic_slots (fun i ->
+                 [
+                   mov_mi (m (nic_ring + (8 * i))) (nic_bufs + (nic_buf_cap * i));
+                   mov_mi (m (nic_ring + (8 * i) + 4)) nic_buf_cap;
+                 ]))
+          @ [
+              mov_ri ebx Machine.Platform.nic_base;
+              mov_mi (mbd ebx Machine.Nic.r_rx_base) nic_ring;
+              mov_mi (mbd ebx Machine.Nic.r_rx_count) nic_slots;
+              mov_mi (mbd ebx Machine.Nic.r_mitigation) mit;
+              mov_mi (mbd ebx Machine.Nic.r_ctrl) 1;
+            ])
     (* randomish but fixed register init; EBP reserved, ESP from boot *)
     @ [
         mov_ri eax 0x01234567;
@@ -612,6 +648,7 @@ let render (p : prog) : item list =
     @ [ jmp_m (m resume_cell) ]
     @ [ label "h_int"; inc_m (m int_cell); iret ]
     @ [ label "h_bp"; inc_m (m bp_cell); iret ]
+    @ [ label "h_nic"; inc_m (m nic_cell); iret ]
     @ List.concat
         (List.init irq_lines (fun k ->
              [ label (Fmt.str "h_irq_%d" k); inc_m (m (irq_cell k)); iret ]))
@@ -674,7 +711,7 @@ let assemble p = X86.Asm.assemble ~base:code_base (render p)
    exact architectural point in every oracle configuration.  Async IRQ
    events key on the retired-instruction count, which the counting-only
    handlers make sound (see module doc). *)
-let generate_events rng (listing : X86.Asm.listing) ~has_irq =
+let generate_events rng (listing : X86.Asm.listing) ~has_irq ~has_pkt =
   let n = Srng.range rng 0 6 in
   let patch_cells =
     List.filter_map (fun (name, addr) ->
@@ -683,8 +720,14 @@ let generate_events rng (listing : X86.Asm.listing) ~has_irq =
         else None)
       listing.X86.Asm.labels
   in
+  let kinds = 2 + (if has_irq then 1 else 0) + if has_pkt then 1 else 0 in
   List.init n (fun _ ->
-      match Srng.int rng (if has_irq then 3 else 2) with
+      match Srng.int rng kinds with
+      | 3 ->
+          (* NIC frame: fits any armed descriptor ([nic_buf_cap]) *)
+          let len = 1 + Srng.int rng 32 in
+          let data = String.init len (fun _ -> Char.chr (Srng.int rng 256)) in
+          Inject.Pkt { at = 1 + Srng.int rng 3000; data }
       | 0 ->
           let len = 1 + Srng.int rng 8 in
           let data = String.init len (fun _ -> Char.chr (Srng.int rng 256)) in
@@ -710,14 +753,24 @@ let generate_events rng (listing : X86.Asm.listing) ~has_irq =
 
 let generate rng ~seed ~index =
   let has_irq = Srng.chance rng 2 3 in
-  let prog = generate_prog rng ~fuzz_port:Machine.Platform.fuzz_port ~has_irq in
+  (* the NIC front needs the STI prologue: frames deliver through the
+     interrupt path *)
+  let nic =
+    if has_irq && Srng.chance rng 1 2 then Some (1 + Srng.int rng 3) else None
+  in
+  let prog =
+    generate_prog rng ~fuzz_port:Machine.Platform.fuzz_port ~has_irq ~nic
+  in
   let listing = assemble prog in
-  let events = generate_events rng listing ~has_irq in
-  (* no IRQ events without the STI prologue *)
+  let events = generate_events rng listing ~has_irq ~has_pkt:(nic <> None) in
+  (* no IRQ events without the STI prologue, no frames without a ring *)
   let events =
-    if has_irq then events
-    else
-      List.filter (function Inject.Irq _ -> false | _ -> true) events
+    List.filter
+      (function
+        | Inject.Irq _ -> has_irq
+        | Inject.Pkt _ -> nic <> None
+        | _ -> true)
+      events
   in
   { seed; index; prog; events }
 
@@ -752,5 +805,7 @@ let note_coverage cov (case : case) =
         (match ev with
         | Inject.Irq _ -> "ev.irq"
         | Inject.Dma _ -> "ev.dma"
-        | Inject.Prot _ -> "ev.prot"))
+        | Inject.Prot _ -> "ev.prot"
+        | Inject.Pkt _ -> "ev.pkt"
+        | Inject.Dma_at _ -> "ev.dma_at"))
     case.events

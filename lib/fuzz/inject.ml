@@ -25,6 +25,12 @@ type event = Cms_persist.Journal.guest_event =
       (** device write of [data] at physical [addr] *)
   | Prot of { virt : int; writable : bool }
       (** flip page-table writability of the page at [virt] *)
+  | Pkt of { at : int; data : string }
+      (** deliver a frame to the NIC RX ring once ≥ [at] instructions
+          have retired (gated on the NIC line latch and a free armed
+          descriptor — see {!Cms_persist.Journal.install_guest}) *)
+  | Dma_at of { at : int; addr : int; data : string }
+      (** asynchronous DMA burst at the first boundary past [at] *)
 
 let pp_event = Cms_persist.Journal.pp_guest_event
 

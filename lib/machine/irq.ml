@@ -13,25 +13,41 @@ type t = {
   mutable mask : int;  (** 1 = masked (inhibited) *)
   mutable raised_total : int;
   mutable delivered_total : int;
+  mutable deferred_total : int;
+      (** raises that could not become a fresh delivery immediately:
+          the line was already latched, or masked — the raise merged
+          into the pending latch instead of producing a new vector *)
 }
 
-let create () = { pending = 0; mask = 0; raised_total = 0; delivered_total = 0 }
+let create () =
+  {
+    pending = 0;
+    mask = 0;
+    raised_total = 0;
+    delivered_total = 0;
+    deferred_total = 0;
+  }
 
 let raise_line t line =
   if line < 0 || line >= lines then invalid_arg "Irq.raise_line";
-  t.pending <- t.pending lor (1 lsl line);
+  let bit = 1 lsl line in
+  if t.pending land bit <> 0 || t.mask land bit <> 0 then
+    t.deferred_total <- t.deferred_total + 1;
+  t.pending <- t.pending lor bit;
   t.raised_total <- t.raised_total + 1
 
 let set_mask t m = t.mask <- m land 0xffff
 
 (* Snapshot support: the full controller state as a plain tuple. *)
-let snapshot t = (t.pending, t.mask, t.raised_total, t.delivered_total)
+let snapshot t =
+  (t.pending, t.mask, t.raised_total, t.delivered_total, t.deferred_total)
 
-let restore t (pending, mask, raised_total, delivered_total) =
+let restore t (pending, mask, raised_total, delivered_total, deferred_total) =
   t.pending <- pending;
   t.mask <- mask;
   t.raised_total <- raised_total;
-  t.delivered_total <- delivered_total
+  t.delivered_total <- delivered_total;
+  t.deferred_total <- deferred_total
 
 (** Is any unmasked interrupt pending? *)
 let has_pending t = t.pending land lnot t.mask land 0xffff <> 0

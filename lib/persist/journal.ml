@@ -33,11 +33,24 @@ type guest_event =
       (** device write of [data] at physical [addr] *)
   | Prot of { virt : int; writable : bool }
       (** flip page-table writability of the page at [virt] *)
+  | Pkt of { at : int; data : string }
+      (** deliver a frame into the NIC RX ring once ≥ [at] instructions
+          have retired.  Delivery is additionally gated on the NIC's
+          line latch being clear *and* {!Machine.Nic.can_accept}, so
+          the set of frames that land — and where — is a pure function
+          of the event list in every execution configuration *)
+  | Dma_at of { at : int; addr : int; data : string }
+      (** asynchronous device write of [data] at physical [addr], fired
+          at the first boundary once ≥ [at] instructions have retired —
+          the §3.6.1 DMA-vs-translation race, journaled verbatim *)
 
 let pp_guest_event ppf = function
   | Irq { at; line } -> Fmt.pf ppf "irq@%d line=%d" at line
   | Dma { addr; data } -> Fmt.pf ppf "dma@%#x len=%d" addr (String.length data)
   | Prot { virt; writable } -> Fmt.pf ppf "prot@%#x w=%b" virt writable
+  | Pkt { at; data } -> Fmt.pf ppf "pkt@%d len=%d" at (String.length data)
+  | Dma_at { at; addr; data } ->
+      Fmt.pf ppf "dma@%d->%#x len=%d" at addr (String.length data)
 
 type host_event =
   | Kill of { nth : int }  (** nth translation attempt dies *)
@@ -86,7 +99,9 @@ type t = {
 (** Delivery cursors of an installed guest-event schedule; snapshots
     capture them so a resume can install the undelivered suffix. *)
 type injector = {
-  mutable irq_next : int;  (** next index into the sorted IRQ schedule *)
+  mutable irq_next : int;
+      (** next index into the sorted asynchronous schedule (IRQ raises,
+          packet arrivals and async DMA, merged in [at] order) *)
   mutable sync_taken : int;  (** synchronous events already fired *)
   n_irq : int;
   n_sync : int;
@@ -102,26 +117,32 @@ let install_guest ?(irq_cursor = 0) ?(sync_cursor = 0) (c : Cms.t)
   let plat = Cms.platform c in
   let mem = plat.Machine.Platform.mem in
   let stats = Cms.stats c in
-  let irqs =
+  let asyncs =
     List.filter_map
-      (function Irq { at; line } -> Some (at, line) | _ -> None)
+      (function
+        | Irq { at; line } -> Some (at, `Irq line)
+        | Pkt { at; data } -> Some (at, `Pkt data)
+        | Dma_at { at; addr; data } -> Some (at, `Dma (addr, data))
+        | Dma _ | Prot _ -> None)
       events
     |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
     |> Array.of_list
   in
   let syncs =
-    List.filter (function Dma _ | Prot _ -> true | Irq _ -> false) events
+    List.filter
+      (function Dma _ | Prot _ -> true | Irq _ | Pkt _ | Dma_at _ -> false)
+      events
     |> Array.of_list
   in
   let inj =
     {
       irq_next = irq_cursor;
       sync_taken = sync_cursor;
-      n_irq = Array.length irqs;
+      n_irq = Array.length asyncs;
       n_sync = Array.length syncs;
     }
   in
-  if Array.length irqs > 0 then begin
+  if Array.length asyncs > 0 then begin
     (* Gate each raise on the line's latch being clear: the PIC latches
        a line as a single bit, so raising the same line twice before
        the first delivery would collapse two events into one — and
@@ -129,17 +150,40 @@ let install_guest ?(irq_cursor = 0) ?(sync_cursor = 0) (c : Cms.t)
        differs between interpreter and translator boundaries.  Holding
        the later event back until the earlier one has been delivered
        makes the total delivery count per line a pure function of the
-       event list in every configuration. *)
+       event list in every configuration.  Packet arrivals extend the
+       same discipline to the NIC: deliver only when the NIC's line
+       latch is clear *and* the RX ring has an armed descriptor, so
+       frame placement is also schedule-independent.  The queue is
+       head-blocking on purpose: a held-back event delays everything
+       behind it identically in every configuration. *)
     let irqc = plat.Machine.Platform.irq in
+    let nic = plat.Machine.Platform.nic in
     c.Cms.Engine.on_boundary <-
       Some
         (fun retired ->
           let continue_ = ref true in
-          while !continue_ && inj.irq_next < Array.length irqs do
-            let at, line = irqs.(inj.irq_next) in
-            if at <= retired && irqc.Machine.Irq.pending land (1 lsl line) = 0
-            then begin
-              Machine.Irq.raise_line irqc line;
+          while !continue_ && inj.irq_next < Array.length asyncs do
+            let at, ev = asyncs.(inj.irq_next) in
+            let fired =
+              at <= retired
+              &&
+              match ev with
+              | `Irq line ->
+                  irqc.Machine.Irq.pending land (1 lsl line) = 0
+                  && begin
+                       Machine.Irq.raise_line irqc line;
+                       true
+                     end
+              | `Pkt data ->
+                  irqc.Machine.Irq.pending land (1 lsl nic.Machine.Nic.line)
+                  = 0
+                  && Machine.Nic.can_accept nic
+                  && Machine.Nic.rx_inject nic data
+              | `Dma (addr, data) ->
+                  Machine.Mem.dma_write mem addr (Bytes.of_string data);
+                  true
+            in
+            if fired then begin
               stats.Cms.Stats.journal_events <-
                 stats.Cms.Stats.journal_events + 1;
               inj.irq_next <- inj.irq_next + 1
@@ -157,7 +201,7 @@ let install_guest ?(irq_cursor = 0) ?(sync_cursor = 0) (c : Cms.t)
           Machine.Mem.dma_write mem addr (Bytes.of_string data)
       | Prot { virt; writable } ->
           Machine.Mmu.set_writable mem.Machine.Mem.mmu ~virt writable
-      | Irq _ -> assert false
+      | Irq _ | Pkt _ | Dma_at _ -> assert false
     end
   in
   Machine.Bus.add_port mem.Machine.Mem.bus Machine.Platform.fuzz_port
@@ -293,8 +337,11 @@ let install_host (c : Cms.t) (events : host_event list) =
    host events grew the chaos unlink storm (tag 5).
    version 3: the embedded Config grew background_translation and
    bg_queue_capacity, Stats grew the bg counters, and host events the
-   background-consume boundary (tag 6). *)
-let version = 3
+   background-consume boundary (tag 6).
+   version 4: guest events grew NIC packet arrivals (tag 3) and
+   asynchronous retired-clock DMA bursts (tag 4); the embedded Stats
+   grew the interrupt-pressure counters. *)
+let version = 4
 let kind = "JRNL"
 
 let w_guest_event b = function
@@ -310,6 +357,15 @@ let w_guest_event b = function
       Codec.w_int b 2;
       Codec.w_int b virt;
       Codec.w_bool b writable
+  | Pkt { at; data } ->
+      Codec.w_int b 3;
+      Codec.w_int b at;
+      Codec.w_string b data
+  | Dma_at { at; addr; data } ->
+      Codec.w_int b 4;
+      Codec.w_int b at;
+      Codec.w_int b addr;
+      Codec.w_string b data
 
 let r_guest_event r =
   match Codec.r_int r with
@@ -325,6 +381,15 @@ let r_guest_event r =
       let virt = Codec.r_int r in
       let writable = Codec.r_bool r in
       Prot { virt; writable }
+  | 3 ->
+      let at = Codec.r_int r in
+      let data = Codec.r_string r in
+      Pkt { at; data }
+  | 4 ->
+      let at = Codec.r_int r in
+      let addr = Codec.r_int r in
+      let data = Codec.r_string r in
+      Dma_at { at; addr; data }
   | k -> Codec.corrupt "journal: unknown guest-event tag %d" k
 
 let w_host_event b = function

@@ -38,8 +38,10 @@ exception Inconsistent of string
    version 3: Config grew closure_exec/chain_exits, Stats the
    closure/chaining counters.
    version 4: Config grew background_translation/bg_queue_capacity,
-   Stats the background-translation counters. *)
-let version = 4
+   Stats the background-translation counters.
+   version 5: NIC device section (NICC), the PIC's deferred-raise
+   counter in IRQC, Stats the interrupt-pressure counters. *)
+let version = 5
 let kind = "SNAP"
 
 let consistent (c : Cms.t) =
@@ -142,13 +144,14 @@ let capture ?(label = "") ?(injector : Journal.injector option) (c : Cms.t) :
   in
   let irqc =
     sec (fun b ->
-        let pending, mask, raised, delivered =
+        let pending, mask, raised, delivered, deferred =
           Machine.Irq.snapshot plat.Machine.Platform.irq
         in
         Codec.w_int b pending;
         Codec.w_int b mask;
         Codec.w_int b raised;
-        Codec.w_int b delivered)
+        Codec.w_int b delivered;
+        Codec.w_int b deferred)
   in
   let uart =
     sec (fun b ->
@@ -171,6 +174,25 @@ let capture ?(label = "") ?(injector : Journal.injector option) (c : Cms.t) :
         Codec.w_int b transfers;
         Codec.w_int b d.Machine.Disk.latency;
         Codec.w_sparse b d.Machine.Disk.image)
+  in
+  let nicc =
+    sec (fun b ->
+        let n = plat.Machine.Platform.nic in
+        let ( (ctrl, rx_base, rx_count, rx_head, tx_base, tx_count, tx_head,
+               tx_pending),
+              (mitigation, isr, busy, coalesce_acc, backlog),
+              (rx_frames, tx_frames, rx_dropped, irqs_raised, irqs_coalesced)
+            ) =
+          Machine.Nic.snapshot n
+        in
+        List.iter (Codec.w_int b)
+          [ ctrl; rx_base; rx_count; rx_head; tx_base; tx_count; tx_head ];
+        Codec.w_bool b tx_pending;
+        List.iter (Codec.w_int b) [ mitigation; isr; busy; coalesce_acc ];
+        Codec.w_list b Codec.w_string backlog;
+        List.iter (Codec.w_int b)
+          [ rx_frames; tx_frames; rx_dropped; irqs_raised; irqs_coalesced ];
+        Codec.w_int b n.Machine.Nic.latency)
   in
   let fbuf =
     sec (fun b ->
@@ -225,6 +247,7 @@ let capture ?(label = "") ?(injector : Journal.injector option) (c : Cms.t) :
         ("IRQC", irqc);
         ("UART", uart);
         ("DISK", disk);
+        ("NICC", nicc);
         ("FBUF", fbuf);
         ("BUSC", busc);
         ("STAT", stat);
@@ -353,9 +376,10 @@ let restore data : Cms.t * meta =
   let i_mask = Codec.r_int irqc in
   let i_raised = Codec.r_int irqc in
   let i_delivered = Codec.r_int irqc in
+  let i_deferred = Codec.r_int irqc in
   Codec.r_end irqc;
   Machine.Irq.restore plat.Machine.Platform.irq
-    (i_pending, i_mask, i_raised, i_delivered);
+    (i_pending, i_mask, i_raised, i_delivered, i_deferred);
   let uart = sec "UART" in
   let u_out = Codec.r_string uart in
   let u_fifo = Codec.r_list uart Codec.r_int in
@@ -366,6 +390,33 @@ let restore data : Cms.t * meta =
     (u_out, u_fifo, u_reads, u_writes);
   Machine.Disk.restore plat.Machine.Platform.disk
     (d_sector, d_dest, d_count, d_busy, d_transfers);
+  let nicc = sec "NICC" in
+  let n_ctrl = Codec.r_int nicc in
+  let n_rx_base = Codec.r_int nicc in
+  let n_rx_count = Codec.r_int nicc in
+  let n_rx_head = Codec.r_int nicc in
+  let n_tx_base = Codec.r_int nicc in
+  let n_tx_count = Codec.r_int nicc in
+  let n_tx_head = Codec.r_int nicc in
+  let n_tx_pending = Codec.r_bool nicc in
+  let n_mitigation = Codec.r_int nicc in
+  let n_isr = Codec.r_int nicc in
+  let n_busy = Codec.r_int nicc in
+  let n_coalesce = Codec.r_int nicc in
+  let n_backlog = Codec.r_list nicc Codec.r_string in
+  let n_rx_frames = Codec.r_int nicc in
+  let n_tx_frames = Codec.r_int nicc in
+  let n_rx_dropped = Codec.r_int nicc in
+  let n_irqs_raised = Codec.r_int nicc in
+  let n_irqs_coalesced = Codec.r_int nicc in
+  let _nic_latency = Codec.r_int nicc in
+  Codec.r_end nicc;
+  Machine.Nic.restore plat.Machine.Platform.nic
+    ( ( n_ctrl, n_rx_base, n_rx_count, n_rx_head, n_tx_base, n_tx_count,
+        n_tx_head, n_tx_pending ),
+      (n_mitigation, n_isr, n_busy, n_coalesce, n_backlog),
+      (n_rx_frames, n_tx_frames, n_rx_dropped, n_irqs_raised, n_irqs_coalesced)
+    );
   let fbuf = sec "FBUF" in
   let f_mem = Codec.r_sparse fbuf in
   let f_writes = Codec.r_int fbuf in

@@ -210,7 +210,14 @@ let w_stats b (s : Cms.Stats.t) =
   Codec.w_int b s.bg_waits;
   Codec.w_int b s.bg_unready;
   Codec.w_int b s.bg_failed;
-  Codec.w_int b s.bg_overlap_insns
+  Codec.w_int b s.bg_overlap_insns;
+  Codec.w_int b s.irq_raised;
+  Codec.w_int b s.irq_deferred;
+  Codec.w_int b s.nic_rx_frames;
+  Codec.w_int b s.nic_tx_frames;
+  Codec.w_int b s.nic_rx_dropped;
+  Codec.w_int b s.nic_irqs;
+  Codec.w_int b s.nic_irq_coalesced
 
 let r_stats_into r (s : Cms.Stats.t) =
   let open Cms.Stats in
@@ -277,7 +284,14 @@ let r_stats_into r (s : Cms.Stats.t) =
   s.bg_waits <- Codec.r_int r;
   s.bg_unready <- Codec.r_int r;
   s.bg_failed <- Codec.r_int r;
-  s.bg_overlap_insns <- Codec.r_int r
+  s.bg_overlap_insns <- Codec.r_int r;
+  s.irq_raised <- Codec.r_int r;
+  s.irq_deferred <- Codec.r_int r;
+  s.nic_rx_frames <- Codec.r_int r;
+  s.nic_tx_frames <- Codec.r_int r;
+  s.nic_rx_dropped <- Codec.r_int r;
+  s.nic_irqs <- Codec.r_int r;
+  s.nic_irq_coalesced <- Codec.r_int r
 
 (* ------------------------------------------------------------------ *)
 (* Vliw.Perf                                                           *)

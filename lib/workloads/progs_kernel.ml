@@ -1,0 +1,473 @@
+(** Miniature preemptive kernel workloads.
+
+    Two guests exercise the interrupt path as an *operating system*
+    rather than as isolated handler stubs:
+
+    - {!kernel_rr}: a timer-sliced round-robin kernel over three
+      compute tasks.  Context switches go through the interrupt path —
+      the timer handler saves the interrupted task's registers on its
+      own stack, parks its ESP in a task table, picks the next runnable
+      task and returns into it with [iret].  Tasks request services via
+      [int 0x30] (fold a partial result into a shared accumulator) and
+      terminate via [int 0x31].
+    - {!kernel_echo}: the same kernel with one task replaced by a
+      packet-echo server.  It transmits frames through the NIC in
+      loopback mode, waits for the looped frame to land in the armed RX
+      descriptor by DMA, folds the received payload into its running
+      checksum and re-arms the ring — the kernel meanwhile keeps
+      time-slicing the other tasks and servicing the NIC's RX/TX
+      interrupts.
+
+    Scheduling is asynchronous — *when* a task is preempted depends on
+    the execution configuration's molecule clock — so the architectural
+    result must not depend on the schedule.  Every task computes a
+    function of its private registers only (preserved exactly by the
+    context switch), and tasks meet only in the service accumulator,
+    which is updated commutatively (addition) with interrupts disabled.
+    EAX (the accumulator) and EBX (the total syscall count) are
+    therefore schedule-independent and mirrored by the generator, while
+    jiffies / stray-IRQ / NIC-IRQ tallies stay in memory cells that the
+    checksum deliberately excludes.  Every IRQ vector gets at least a
+    counting handler, so fault-injection campaigns can flood any line
+    without wandering through a null IDT entry. *)
+
+open X86.Asm
+
+let mask32 x = x land 0xffffffff
+let rol32 x n = mask32 ((x lsl n) lor (mask32 x lsr (32 - n)))
+
+(* ------------------------------------------------------------------ *)
+(* Memory map (all below the 0xA0000 framebuffer window)               *)
+(* ------------------------------------------------------------------ *)
+
+let idt = 0x1000
+let idt_ptr = 0x5000
+
+(* kernel cells *)
+let cur_task = 0x6000
+let done_count = 0x6004
+let svc_acc = 0x6008
+let sys_count = 0x600c
+let jiffies = 0x6010
+let stray_cell = 0x6014
+let nic_cell = 0x6018
+let task_esp = 0x6020 (* 4 words *)
+let task_state = 0x6040 (* 4 words: 0 = runnable, 1 = done *)
+
+(* NIC rings and buffers (kernel_echo) *)
+let rx_ring = 0x6100
+let tx_ring = 0x6110
+let rx_buf = 0x6200
+let tx_buf = 0x6300
+let buf_cap = 64
+
+(* Per-task stacks: task 0 keeps the boot stack (0x80000, growing
+   down); tasks 1..3 get 16 KiB regions below it.  All of them live in
+   the canonical 0x70000..0x80000 stack window that the differential
+   harnesses zero before digesting memory — dead bytes below a task's
+   ESP record *where* it was preempted, which is molecule-clock
+   territory, not architecture. *)
+let stack_top i = 0x80000 - (i * 0x4000)
+
+let ntasks = 4 (* power of two: the scheduler masks with [ntasks-1] *)
+let timer_period = 12_000
+
+let sys_service = 0x30
+let sys_exit = 0x31
+
+(* ------------------------------------------------------------------ *)
+(* Task bodies                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type compute = { seed : int; rounds : int; inner : int; mult : int }
+
+(* Private-register compute kernel: EBX accumulates, ESI/EDI hold the
+   constants, EBP counts rounds, ECX the inner loop.  One [int 0x30]
+   per round publishes the partial sum; [int 0x31] terminates. *)
+let compute_items i (p : compute) =
+  [
+    label (Fmt.str "task_%d" i);
+    mov_ri esi p.mult;
+    mov_ri edi p.seed;
+    mov_ri ebx p.seed;
+    mov_ri ebp p.rounds;
+    label (Fmt.str "t%d_round" i);
+    mov_ri ecx p.inner;
+    label (Fmt.str "t%d_inner" i);
+    mov_rr edx ecx;
+    imul_rr edx esi;
+    add_rr edx edi;
+    xor_rr ebx edx;
+    rol_ri ebx 3;
+    dec_r ecx;
+    jne (Fmt.str "t%d_inner" i);
+    mov_rr eax ebx;
+    int_ sys_service;
+    dec_r ebp;
+    jne (Fmt.str "t%d_round" i);
+    int_ sys_exit;
+  ]
+
+(* Generator-side mirror of [compute_items]: returns the value the task
+   publishes per round and the number of service calls it makes. *)
+let compute_sim (p : compute) ~acc ~calls =
+  let b = ref p.seed in
+  for _ = 1 to p.rounds do
+    for c = p.inner downto 1 do
+      b := rol32 (!b lxor mask32 ((c * p.mult) + p.seed)) 3
+    done;
+    acc := mask32 (!acc + !b);
+    incr calls
+  done;
+  incr calls (* the exit syscall *)
+
+type echo = { e_seed : int; e_rounds : int; e_words : int; e_mult : int }
+
+(* Packet-echo server: fill a frame from the running checksum, transmit
+   it through the loopback NIC, spin on the RX descriptor's status word
+   (plain RAM, written by device DMA) until the frame returns, fold the
+   received payload back in, re-arm the ring, publish the partial sum.
+   One frame in flight at a time, so no configuration can drop one. *)
+let echo_items i (p : echo) =
+  [
+    label (Fmt.str "task_%d" i);
+    mov_ri esi Machine.Platform.nic_base;
+    mov_ri edx p.e_mult;
+    mov_ri ebx p.e_seed;
+    mov_ri edi p.e_rounds;
+    label "e_round";
+    mov_ri ebp tx_buf;
+    mov_ri ecx p.e_words;
+    label "e_fill";
+    mov_rr eax ecx;
+    imul_rr eax edx;
+    xor_rr eax ebx;
+    rol_ri eax 7;
+    mov_rr ebx eax;
+    mov_mr (mb ebp) ebx;
+    add_ri ebp 4;
+    dec_r ecx;
+    jne "e_fill";
+    mov_mi (m (tx_ring + 4)) (Machine.Nic.tx_ready lor (p.e_words * 4));
+    mov_mr (mbd esi Machine.Nic.r_tx_kick) eax;
+    label "e_poll";
+    mov_rm eax (m (rx_ring + 4));
+    test_ri eax Machine.Nic.rx_done;
+    je "e_poll";
+    mov_ri ebp rx_buf;
+    mov_ri ecx p.e_words;
+    label "e_sum";
+    xor_rm ebx (mb ebp);
+    rol_ri ebx 1;
+    add_ri ebp 4;
+    dec_r ecx;
+    jne "e_sum";
+    mov_mi (m (rx_ring + 4)) buf_cap;
+    mov_rr eax ebx;
+    int_ sys_service;
+    dec_r edi;
+    jne "e_round";
+    mov_mi (mbd esi Machine.Nic.r_ctrl) 0;
+    int_ sys_exit;
+  ]
+
+(* RX-server task: serve exactly [nframes] externally injected frames.
+   The storm campaign injects the frames as retired-clock packet events
+   through the journal's gated installer, which delivers each one only
+   when the NIC line latch is clear and the descriptor has been
+   re-armed — so all [nframes] land, in order, in every configuration,
+   and the checksum below is a pure function of the injected frame
+   list.  Per frame: fold the DMA-written length, then every payload
+   byte; publish the partial sum; re-arm. *)
+let rx_seed = 0x0ecff00d
+
+let rx_items i ~nframes =
+  [
+    label (Fmt.str "task_%d" i);
+    mov_ri esi Machine.Platform.nic_base;
+    mov_ri edi nframes;
+    mov_ri ebx rx_seed;
+    label "r_wait";
+    mov_rm eax (m (rx_ring + 4));
+    test_ri eax Machine.Nic.rx_done;
+    je "r_wait";
+    and_ri eax 0xffff;
+    add_rr ebx eax;
+    mov_rr ecx eax;
+    mov_ri ebp rx_buf;
+    test_rr ecx ecx;
+    je "r_skip";
+    label "r_bytes";
+    movzx edx (mb ebp);
+    rol_ri ebx 5;
+    xor_rr ebx edx;
+    inc_r ebp;
+    dec_r ecx;
+    jne "r_bytes";
+    label "r_skip";
+    mov_mi (m (rx_ring + 4)) buf_cap;
+    mov_rr eax ebx;
+    int_ sys_service;
+    dec_r edi;
+    jne "r_wait";
+    mov_mi (mbd esi Machine.Nic.r_ctrl) 0;
+    int_ sys_exit;
+  ]
+
+(* Mirror of [rx_items], including the device's truncation of frames
+   longer than the descriptor's armed capacity. *)
+let rx_sim frames ~acc ~calls =
+  let b = ref rx_seed in
+  List.iter
+    (fun data ->
+      let len = min (String.length data) buf_cap in
+      b := mask32 (!b + len);
+      for k = 0 to len - 1 do
+        b := rol32 !b 5 lxor Char.code data.[k]
+      done;
+      acc := mask32 (!acc + !b);
+      incr calls)
+    frames;
+  incr calls
+
+let echo_sim (p : echo) ~acc ~calls =
+  let b = ref p.e_seed in
+  let frame = Array.make p.e_words 0 in
+  for _ = 1 to p.e_rounds do
+    for c = p.e_words downto 1 do
+      b := rol32 (mask32 (c * p.e_mult) lxor !b) 7;
+      frame.(p.e_words - c) <- !b
+    done;
+    (* loopback returns the frame verbatim *)
+    Array.iter (fun w -> b := rol32 (!b lxor w) 1) frame;
+    acc := mask32 (!acc + !b);
+    incr calls
+  done;
+  incr calls
+
+(* ------------------------------------------------------------------ *)
+(* The kernel proper                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Registers saved across a context switch, in push order. *)
+let save_regs = [ eax; ecx; edx; ebx; ebp; esi; edi ]
+let frame_words = 2 + List.length save_regs (* EFLAGS, EIP, 7 GPRs *)
+
+let kernel_items ?(nic_ctrl = 7) ~with_nic ~tasks () =
+  let vec line = idt + (4 * (Machine.Irq.base_vector + line)) in
+  let idt_setup =
+    [ mov_rl eax "h_stray" ]
+    @ List.concat
+        (List.init Machine.Irq.lines (fun line ->
+             [ mov_mr (m (vec line)) eax ]))
+    @ [
+        mov_rl eax "h_timer";
+        mov_mr (m (vec Machine.Platform.timer_irq_line)) eax;
+        mov_rl eax "h_svc";
+        mov_mr (m (idt + (4 * sys_service))) eax;
+        mov_rl eax "h_exit";
+        mov_mr (m (idt + (4 * sys_exit))) eax;
+      ]
+    @ (if with_nic then
+         [
+           mov_rl eax "h_nic";
+           mov_mr (m (vec Machine.Platform.nic_irq_line)) eax;
+         ]
+       else [])
+    @ [ mov_mi (m idt_ptr) idt; lidt (m idt_ptr) ]
+  in
+  let cells =
+    List.map
+      (fun c -> mov_mi (m c) 0)
+      [ cur_task; done_count; svc_acc; sys_count; jiffies; stray_cell; nic_cell ]
+  in
+  (* fabricate an interrupt frame + saved registers for each task, as
+     if it had just been preempted at its entry point *)
+  let frames =
+    List.concat
+      (List.init (ntasks - 1) (fun k ->
+           let i = k + 1 in
+           let top = stack_top i in
+           [
+             mov_mi (m (top - 4)) (X86.Flags.if_mask lor X86.Flags.reserved);
+             mov_rl eax (Fmt.str "task_%d" i);
+             mov_mr (m (top - 8)) eax;
+           ]
+           @ List.mapi
+               (fun j _ -> mov_mi (m (top - 12 - (4 * j))) 0)
+               save_regs
+           @ [
+               mov_mi (m (task_esp + (4 * i))) (top - (4 * frame_words));
+               mov_mi (m (task_state + (4 * i))) 0;
+             ]))
+    @ [ mov_mi (m task_state) 0 ]
+  in
+  let nic_setup =
+    if not with_nic then []
+    else
+      [
+        mov_mi (m rx_ring) rx_buf;
+        mov_mi (m (rx_ring + 4)) buf_cap;
+        mov_mi (m tx_ring) tx_buf;
+        mov_mi (m (tx_ring + 4)) 0;
+        mov_ri ebx Machine.Platform.nic_base;
+        mov_mi (mbd ebx Machine.Nic.r_rx_base) rx_ring;
+        mov_mi (mbd ebx Machine.Nic.r_rx_count) 1;
+        mov_mi (mbd ebx Machine.Nic.r_tx_base) tx_ring;
+        mov_mi (mbd ebx Machine.Nic.r_tx_count) 1;
+        mov_mi (mbd ebx Machine.Nic.r_mitigation) 1;
+        mov_mi (mbd ebx Machine.Nic.r_ctrl) nic_ctrl;
+      ]
+  in
+  let timer_on =
+    [
+      mov_ri eax (timer_period land 0xffff);
+      mov_ri edx Machine.Platform.timer_base;
+      out32_dx;
+      mov_ri eax (timer_period lsr 16);
+      mov_ri edx (Machine.Platform.timer_base + 1);
+      out32_dx;
+      sti;
+    ]
+  in
+  let idle =
+    [
+      label "idle";
+      cmp_mi (m done_count) (ntasks - 1);
+      je "finish";
+      hlt;
+      jmp "idle";
+      label "finish";
+      cli;
+      mov_ri eax 0;
+      mov_ri edx Machine.Platform.timer_base;
+      out32_dx;
+      mov_ri edx (Machine.Platform.timer_base + 1);
+      out32_dx;
+      mov_rm eax (m svc_acc);
+      mov_rm ebx (m sys_count);
+      hlt;
+    ]
+  in
+  let handlers =
+    [
+      (* timer: full context switch *)
+      label "h_timer";
+    ]
+    @ List.map push_r save_regs
+    @ [ inc_m (m jiffies); jmp "do_switch" ]
+    @ [ label "h_exit" ]
+    @ List.map push_r save_regs
+    @ [
+        inc_m (m sys_count);
+        mov_rm eax (m cur_task);
+        mov_mi (m ~index:(eax, 4) task_state) 1;
+        inc_m (m done_count);
+        jmp "do_switch";
+        (* shared switch tail: park ESP, pick the next runnable task
+           (task 0 is always runnable, so the scan terminates), resume *)
+        label "do_switch";
+        mov_rm eax (m cur_task);
+        mov_mr (m ~index:(eax, 4) task_esp) esp;
+        label "pick";
+        inc_r eax;
+        and_ri eax (ntasks - 1);
+        cmp_mi (m ~index:(eax, 4) task_state) 0;
+        jne "pick";
+        mov_mr (m cur_task) eax;
+        mov_rm esp (m ~index:(eax, 4) task_esp);
+      ]
+    @ List.map pop_r (List.rev save_regs)
+    @ [
+        iret;
+        (* service call: commutative fold under IF=0 *)
+        label "h_svc";
+        add_mr (m svc_acc) eax;
+        inc_m (m sys_count);
+        iret;
+        label "h_stray";
+        inc_m (m stray_cell);
+        iret;
+      ]
+    @
+    if with_nic then
+      [
+        label "h_nic";
+        push_r eax;
+        mov_rm eax (m (Machine.Platform.nic_base + Machine.Nic.r_isr));
+        inc_m (m nic_cell);
+        pop_r eax;
+        iret;
+      ]
+    else []
+  in
+  idt_setup @ cells @ frames @ nic_setup @ timer_on @ idle @ handlers @ tasks
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let c1 = { seed = 0x12345601; rounds = 40; inner = 300; mult = 0x01000193 }
+let c2 = { seed = 0x0badf00d; rounds = 50; inner = 240; mult = 0x9e3779b1 }
+let c3 = { seed = 0x00c0ffee; rounds = 60; inner = 200; mult = 0x85ebca6b }
+let e1 = { e_seed = 0x5eed0001; e_rounds = 40; e_words = 8; e_mult = 0x01000193 }
+
+let expected ~sims =
+  let acc = ref 0 and calls = ref 0 in
+  List.iter (fun sim -> sim ~acc ~calls) sims;
+  (!acc, !calls)
+
+let build ?nic_ctrl ~name ~with_nic ~tasks ~sims () =
+  let items = kernel_items ?nic_ctrl ~with_nic ~tasks () in
+  let listing = assemble ~base:0x10000 items in
+  let eax, _calls = expected ~sims in
+  Suite.make ~kind:Suite.Boot ~name ~entry:0x10000 ~max_insns:4_000_000
+    ~uses_timer:true ~expected_eax:(Some eax) listing
+
+(** Timer-sliced round-robin over three compute tasks. *)
+let kernel_rr =
+  build ~name:"RR Kernel" ~with_nic:false
+    ~tasks:(compute_items 1 c1 @ compute_items 2 c2 @ compute_items 3 c3)
+    ~sims:[ compute_sim c1; compute_sim c2; compute_sim c3 ]
+    ()
+
+(** The same kernel with a packet-echo server task driving the NIC in
+    loopback mode under the other tasks' compute load. *)
+let kernel_echo =
+  build ~name:"Packet Echo Kernel" ~with_nic:true
+    ~tasks:(echo_items 1 e1 @ compute_items 2 c2 @ compute_items 3 c3)
+    ~sims:[ echo_sim e1; compute_sim c2; compute_sim c3 ]
+    ()
+
+(** The same kernel with an RX-server task that consumes exactly the
+    given externally injected frames (storm-campaign parameterized, so
+    not part of {!all}).  EAX/EBX are a pure function of [frames]. *)
+let kernel_rx frames =
+  if frames = [] then invalid_arg "Progs_kernel.kernel_rx: no frames";
+  build ~nic_ctrl:1 ~name:"RX Server Kernel" ~with_nic:true
+    ~tasks:
+      (rx_items 1 ~nframes:(List.length frames)
+      @ compute_items 2 c2 @ compute_items 3 c3)
+    ~sims:[ rx_sim frames; compute_sim c2; compute_sim c3 ]
+    ()
+
+(** (expected EAX, expected EBX) for {!kernel_rx} on [frames]. *)
+let rx_expected frames =
+  expected ~sims:[ rx_sim frames; compute_sim c2; compute_sim c3 ]
+
+(** Expected EBX (total syscall count) — fixed in every schedule. *)
+let expected_calls w =
+  let sims =
+    if w == kernel_echo then [ echo_sim e1; compute_sim c2; compute_sim c3 ]
+    else [ compute_sim c1; compute_sim c2; compute_sim c3 ]
+  in
+  snd (expected ~sims)
+
+let all = [ kernel_rr; kernel_echo ]
+
+(** Preemptive-kernel workloads validate through schedule-independent
+    registers (EAX checksum, EBX syscall count), not raw memory: timer
+    delivery boundaries move with translation shape, so jiffies,
+    [cur_task] and the saved task stacks legitimately differ between
+    configurations that place commit boundaries differently. *)
+let is_kernel w = List.memq w all

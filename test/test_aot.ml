@@ -343,6 +343,7 @@ let all_workloads () =
   Workloads.Progs_boot.all @ Workloads.Progs_spec.all
   @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
   @ [ Workloads.Progs_quake.blt_driver () ]
+  @ Workloads.Progs_kernel.all
 
 let run_warm ?(cfg = Cms.Config.default) (w : Suite.t) =
   let c = Suite.prepare ~cfg w in

@@ -197,6 +197,7 @@ let all_workloads () =
   Workloads.Progs_boot.all @ Workloads.Progs_spec.all
   @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
   @ [ Workloads.Progs_quake.blt_driver () ]
+  @ Workloads.Progs_kernel.all
 
 let installs = ref 0
 

@@ -18,6 +18,7 @@ let all_workloads () =
   Workloads.Progs_boot.all @ Workloads.Progs_spec.all
   @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
   @ [ Workloads.Progs_quake.blt_driver () ]
+  @ Workloads.Progs_kernel.all
 
 (* Everything guest-visible or cost-model-visible, with the host-cache
    counters (which legitimately differ between modes) normalized out. *)

@@ -282,6 +282,7 @@ let test_suite_verifier_clean () =
     Workloads.Progs_boot.all @ Workloads.Progs_spec.all
     @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
     @ [ Workloads.Progs_quake.blt_driver () ]
+  @ Workloads.Progs_kernel.all
   in
   let cfg = { Cms.Config.debug with Cms.Config.translate_threshold = 4 } in
   let translations = ref 0 in

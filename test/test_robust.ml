@@ -296,6 +296,7 @@ let all_workloads () =
   Workloads.Progs_boot.all @ Workloads.Progs_spec.all
   @ Workloads.Progs_apps.all @ Workloads.Progs_quake.all
   @ [ Workloads.Progs_quake.blt_driver () ]
+  @ Workloads.Progs_kernel.all
 
 (* Architectural state only; stats legitimately differ under pressure.
    The stack pages are zeroed before digesting, as in the fuzz oracle:
@@ -331,10 +332,25 @@ let eviction_differential (w : Suite.t) () =
       (w.Suite.name ^ ": pressure exercised")
       true
       (tc.Tcache.evicted >= 1 || tc.Tcache.flushes >= 1);
-    check cb
-      (w.Suite.name ^ ": architecturally identical under eviction")
-      true
-      (arch base = arch tight)
+    if Workloads.Progs_kernel.is_kernel w then begin
+      (* Eviction moves commit boundaries, so timer delivery lands at
+         different retired instants and the preemptive kernels take a
+         different (equally valid) schedule: jiffies, cur_task and the
+         PIC EOI counts legitimately differ.  The kernels' contract is
+         the schedule-independent pair (EAX checksum, EBX syscall
+         count), both already validated against the generator's mirror
+         by [Suite.run]; pin them across the pressure flip here. *)
+      let pair c = (Cms.gpr c X86.Regs.eax, Cms.gpr c X86.Regs.ebx) in
+      check cb
+        (w.Suite.name ^ ": schedule-independent state under eviction")
+        true
+        (pair base = pair tight)
+    end
+    else
+      check cb
+        (w.Suite.name ^ ": architecturally identical under eviction")
+        true
+        (arch base = arch tight)
   end
 
 let eviction_tests =

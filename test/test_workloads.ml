@@ -59,6 +59,8 @@ let subset =
     Progs_apps.multimedia;
     Progs_quake.quake;
     Progs_quake.blt_driver ();
+    Workloads.Progs_kernel.kernel_rr;
+    Workloads.Progs_kernel.kernel_echo;
   ]
 
 let workload_cases =
@@ -71,7 +73,8 @@ let workload_cases =
 let test_suite_shape () =
   check ci "eight boots" 8 (List.length Progs_boot.all);
   check cb "at least 12 apps" true
-    (List.length (Progs_spec.all @ Progs_apps.all @ Progs_quake.all) >= 12)
+    (List.length (Progs_spec.all @ Progs_apps.all @ Progs_quake.all) >= 12);
+  check ci "two kernels" 2 (List.length Workloads.Progs_kernel.all)
 
 let test_quake_frames () =
   let t = Suite.run ~cfg:Cms.Config.debug Progs_quake.quake in
