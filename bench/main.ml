@@ -705,6 +705,132 @@ let run_storm ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scaling and shared-warm start (bench fleet)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Two questions, both against the RX-server traffic fleet:
+
+   1. Scaling: aggregate retired insns/sec as the fleet grows from 1
+      to 8 machines over up to 4 shard domains, all sharing one warm
+      store.  Every machine self-validates its checksum.
+   2. Shared-warm start: a late joiner booting the same kernel image
+      against an already-warm store versus booting cold.  The warm
+      joiner should source the majority of its molecules from the
+      store (validated copies, no per-instruction translate charge)
+      instead of minting them privately. *)
+let run_fleet ~json () =
+  let module Fleet = Cms_fleet.Fleet in
+  let module Tstore = Cms_persist.Tstore in
+  let reps = 3 in
+  let seed = 11 in
+  let fcfg shards = { Fleet.default_config with Fleet.shards; mirror = false } in
+  let counts = [ 1; 2; 4; 8 ] in
+  let row n =
+    let specs = Fleet.traffic_specs ~seed ~machines:n in
+    let shards = min 4 n in
+    let run () =
+      let t0 = Unix.gettimeofday () in
+      let t = Fleet.run ~store:(Tstore.create ()) (fcfg shards) specs in
+      (Unix.gettimeofday () -. t0, t)
+    in
+    let dt, t = best_of reps run in
+    if t.Fleet.t_divergences > 0 || t.Fleet.t_quarantined > 0 then begin
+      Fmt.epr "bench fleet: unhealthy fleet at %d machines@." n;
+      exit 1
+    end;
+    (n, shards, dt, t)
+  in
+  let rows = List.map row counts in
+  pr "=== Fleet scaling (RX-server kernel, shared warm store) ===@.";
+  List.iter
+    (fun (n, shards, dt, t) ->
+      pr
+        "  %d machines / %d shards: %.3fs retired=%d (%.2fM insns/s \
+         aggregate)  store[hits=%d published=%d]@."
+        n shards dt t.Fleet.t_retired
+        (float_of_int t.Fleet.t_retired /. dt /. 1e6)
+        t.Fleet.t_store_hits t.Fleet.t_store_published)
+    rows;
+  (* --- cold vs shared-warm late joiner ------------------------------ *)
+  let specs = Fleet.traffic_specs ~seed:77 ~machines:2 in
+  let publisher, joiner =
+    match specs with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let store = Tstore.create () in
+  ignore (Fleet.run ~store (fcfg 1) [ publisher ] : Fleet.totals);
+  let solo ?store () =
+    let t0 = Unix.gettimeofday () in
+    let t = Fleet.run ?store (fcfg 1) [ joiner ] in
+    (Unix.gettimeofday () -. t0, t)
+  in
+  let cold_dt, cold = best_of reps (fun () -> solo ()) in
+  let warm_dt, warm = best_of reps (fun () -> solo ~store ()) in
+  let stat t f =
+    match (List.hd t.Fleet.t_reports).Fleet.r_stats with
+    | Some s -> f s
+    | None -> 0
+  in
+  let cold_translations = stat cold (fun s -> s.Cms.Stats.translations) in
+  let warm_translations = stat warm (fun s -> s.Cms.Stats.translations) in
+  let warm_hits = warm.Fleet.t_store_hits in
+  let cold_molecules = stat cold (fun s -> s.Cms.Stats.charged_molecules) in
+  let warm_molecules = stat warm (fun s -> s.Cms.Stats.charged_molecules) in
+  let removed_pct =
+    100.0
+    *. float_of_int (cold_translations - warm_translations)
+    /. float_of_int (max 1 cold_translations)
+  in
+  pr "=== Shared-warm start (late joiner, same kernel image) ===@.";
+  pr "  cold: %.3fs, %d private translations, %d host+overhead molecules@."
+    cold_dt cold_translations cold_molecules;
+  pr
+    "  warm: %.3fs, %d private translations, %d store hits, %d host+overhead \
+     molecules@."
+    warm_dt warm_translations warm_hits warm_molecules;
+  pr "  %.0f%% of cold-start translations sourced from the shared store@."
+    removed_pct;
+  if removed_pct < 50.0 then begin
+    Fmt.epr
+      "bench fleet: shared-warm start removed only %.0f%% of cold-start \
+       translations (majority expected)@."
+      removed_pct;
+    exit 1
+  end;
+  if json then begin
+    let oc = open_out "BENCH_fleet.json" in
+    let j = Fmt.str in
+    let row_json (n, shards, dt, t) =
+      j
+        "    { \"machines\": %d, \"shards\": %d, \"seconds\": %.6f, \
+         \"retired\": %d, \"insns_per_sec\": %.1f, \"store_hits\": %d, \
+         \"store_published\": %d }"
+        n shards dt t.Fleet.t_retired
+        (float_of_int t.Fleet.t_retired /. dt)
+        t.Fleet.t_store_hits t.Fleet.t_store_published
+    in
+    output_string oc
+      (j
+         "{\n\
+         \  \"bench\": \"fleet\",\n\
+         \  \"scaling\": [\n\
+          %s\n\
+         \  ],\n\
+         \  \"late_joiner\": {\n\
+         \    \"cold\": { \"seconds\": %.6f, \"translations\": %d, \
+          \"molecules\": %d },\n\
+         \    \"warm\": { \"seconds\": %.6f, \"translations\": %d, \
+          \"molecules\": %d, \"store_hits\": %d },\n\
+         \    \"translations_removed_pct\": %.1f\n\
+         \  }\n\
+          }\n"
+         (String.concat ",\n" (List.map row_json rows))
+         cold_dt cold_translations cold_molecules warm_dt warm_translations
+         warm_molecules warm_hits removed_pct);
+    close_out oc;
+    pr "  wrote BENCH_fleet.json@."
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Fast-path smoke check (CI: dune build @bench-smoke)                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -780,7 +906,8 @@ let all () =
   run_persist ();
   run_aot ~json:false ();
   run_bgtrans ~json:false ();
-  run_storm ~json:false ()
+  run_storm ~json:false ();
+  run_fleet ~json:false ()
 
 let () =
   let json =
@@ -811,12 +938,13 @@ let () =
   | "aot" -> run_aot ~json ()
   | "bgtrans" -> run_bgtrans ~json ()
   | "storm" -> run_storm ~json ()
+  | "fleet" -> run_fleet ~json ()
   | "smoke" -> run_smoke ()
   | "all" -> all ()
   | other ->
       Fmt.epr
         "unknown experiment %S; one of: fig2 fig3 table1 selfcheck selfreval \
-         groups flow ablations micro hotpath persist aot bgtrans storm smoke \
-         all@."
+         groups flow ablations micro hotpath persist aot bgtrans storm fleet \
+         smoke all@."
         other;
       exit 1

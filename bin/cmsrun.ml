@@ -38,7 +38,8 @@ let report ~stats ~verbose w t =
     Fmt.pr "bgtrans: %a@." Cms.Stats.pp_bgtrans s;
     Fmt.pr "recovery: %a@." Cms.Stats.pp_recovery s;
     Fmt.pr "irq: %a@." Cms.Stats.pp_irq s;
-    Fmt.pr "persist: %a@." Cms.Stats.pp_persist s
+    Fmt.pr "persist: %a@." Cms.Stats.pp_persist s;
+    Fmt.pr "fleet: %a@." Cms.Stats.pp_fleet s
   end;
   if verbose then begin
     Fmt.pr "stats: %a@." Cms.Stats.pp s;

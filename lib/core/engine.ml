@@ -63,6 +63,36 @@ type t = {
       (** test hook, fired immediately after every speculative-state
           rollback — the seam where the non-interference invariant
           ({!speculation_visible}) is asserted *)
+  mutable shared_source :
+    (entry:int ->
+    region:Region.t ->
+    policy:Policy.t ->
+    bytes_:Bytes.t ->
+    Codegen.compiled option)
+      option;
+      (** fleet-mode consult hook, fired at the synchronous translate
+          instant when no validated background result was available.
+          The hook receives the canonical inputs derived right here —
+          the selected region, the adaptive policy, and the current
+          source bytes — and may return a pre-minted translation; the
+          *hook* owns validation (the fleet layer revalidates every
+          shared-store entry against exactly these inputs before
+          trusting it).  A returned translation skips the translate
+          charge and is charged a revalidation cost instead, so a warm
+          store is a genuine cold-start accelerator. *)
+  mutable on_fresh_translation :
+    (entry:int ->
+    region:Region.t ->
+    policy:Policy.t ->
+    bytes_:Bytes.t ->
+    compiled:Codegen.compiled ->
+    unit)
+      option;
+      (** fleet-mode publish seam, fired after a freshly compiled
+          translation (synchronous or validated-background, never one
+          supplied by {!shared_source}) is installed, with the source
+          bytes it was compiled from.  Exceptions escaping the hook are
+          contained by {!translate}. *)
   mutable insn_limit : int;
       (** the active [run]'s [max_insns]; the chained fast path checks
           it at every translation-to-translation boundary so a chained
@@ -94,6 +124,7 @@ let create ?(cfg = Config.default) plat =
     { cfg; plat; cpu; interp; profile; stats; tcache; smc; adapt; bg;
       ticked = 0; irq_sample = 0; on_boundary = None; chaos = None;
       on_bg_consume = None; on_rollback = None;
+      shared_source = None; on_fresh_translation = None;
       insn_limit = max_int; stall_eip = -1; last_retired = -1; stalls = 0 }
   in
   mem.Machine.Mem.on_smc <- (fun hit ~paddr ~len -> Smc.on_write smc hit ~paddr ~len);
@@ -204,8 +235,22 @@ let translate_unprotected t entry =
           | _ -> None
         in
         first_attempt := false;
+        (* With a fleet hook installed (shared-store consult or publish
+           seam), the current source bytes are part of every attempt's
+           canonical inputs, so the snapshot read happens uniformly —
+           never as a function of whether the store had a hit. *)
+        let cur_snap =
+          match bg_snap with
+          | Some _ -> bg_snap
+          | None ->
+              if
+                Option.is_some t.shared_source
+                || Option.is_some t.on_fresh_translation
+              then Some (Codegen.take_snapshot mem region)
+              else None
+        in
         let precompiled =
-          match (bg_taken, bg_snap) with
+          match (bg_taken, cur_snap) with
           | Some { Bgtrans.t_job = j; t_result = Some c; _ }, Some cur
             when (not !bg_used)
                  && Policy.equal j.Bgtrans.policy policy
@@ -215,34 +260,67 @@ let translate_unprotected t entry =
               Some c
           | _ -> None
         in
+        (* Shared-store consult: only when neither the tcache nor the
+           background worker could serve the entry.  The hook owns
+           validation; anything it returns installs like a local
+           compile, minus the translate charge. *)
+        let precompiled, from_store =
+          match precompiled with
+          | Some _ -> (precompiled, false)
+          | None -> (
+              match (t.shared_source, cur_snap) with
+              | Some f, Some cur -> (
+                  match f ~entry ~region ~policy ~bytes_:cur with
+                  | Some _ as c -> (c, true)
+                  | None -> (None, false))
+              | _ -> (None, false))
+        in
         match
-          match (precompiled, bg_snap) with
+          match (precompiled, cur_snap) with
           | Some c, _ -> c
           | None, Some cur ->
               Codegen.compile_presnapped ~cfg:t.cfg ~policy ~bytes:cur region
           | None, None -> Codegen.compile ~cfg:t.cfg ~policy ~mem region
         with
-        | { Codegen.code; snapshot; unprotected; _ } ->
+        | { Codegen.code; snapshot; unprotected; _ } as compiled ->
             let n = Region.instruction_count region in
-            Stats.charge t.stats (n * t.cfg.Config.translate_cost);
-            t.stats.Stats.translations <- t.stats.Stats.translations + 1;
-            if Adapt.hot t.adapt entry then
-              t.stats.Stats.retranslations <- t.stats.Stats.retranslations + 1;
-            t.stats.Stats.insns_translated <- t.stats.Stats.insns_translated + n;
-            t.stats.Stats.translated_atoms <-
-              t.stats.Stats.translated_atoms + Vliw.Code.atom_count code;
-            if
-              t.cfg.Config.verify_translations
-              && Option.is_some !Codegen.verify_hook
-            then
-              t.stats.Stats.translations_verified <-
-                t.stats.Stats.translations_verified + 1;
+            if from_store then begin
+              (* The fleet's cold-start payoff: a validated store entry
+                 skips the per-instruction translate charge and pays
+                 only for its consumer-side revalidation (source-byte
+                 compare plus code walk). *)
+              Stats.charge t.stats
+                (Region.src_bytes region * t.cfg.Config.reval_cost_per_byte);
+              t.stats.Stats.store_hits <- t.stats.Stats.store_hits + 1
+            end
+            else begin
+              Stats.charge t.stats (n * t.cfg.Config.translate_cost);
+              t.stats.Stats.translations <- t.stats.Stats.translations + 1;
+              if Adapt.hot t.adapt entry then
+                t.stats.Stats.retranslations <-
+                  t.stats.Stats.retranslations + 1;
+              t.stats.Stats.insns_translated <-
+                t.stats.Stats.insns_translated + n;
+              t.stats.Stats.translated_atoms <-
+                t.stats.Stats.translated_atoms + Vliw.Code.atom_count code;
+              if
+                t.cfg.Config.verify_translations
+                && Option.is_some !Codegen.verify_hook
+              then
+                t.stats.Stats.translations_verified <-
+                  t.stats.Stats.translations_verified + 1
+            end;
             let tr =
               Tcache.insert ~unprotected t.tcache ~entry ~code ~region ~policy
                 ~snapshot
             in
             Smc.register t.smc tr;
             Profile.reset_count t.profile entry;
+            if not from_store then
+              (match (t.on_fresh_translation, cur_snap) with
+              | Some f, Some cur ->
+                  f ~entry ~region ~policy ~bytes_:cur ~compiled
+              | _ -> ());
             tr
         | exception Codegen.Too_big ->
             if policy.Policy.max_insns <= 4 then insert_zero_insn t entry

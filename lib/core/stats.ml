@@ -139,6 +139,22 @@ type t = {
   mutable nic_irqs : int;  (** interrupts the NIC actually raised *)
   mutable nic_irq_coalesced : int;
       (** RX interrupts suppressed by the mitigation register *)
+  (* --- shared translation store (fleet mode) --- *)
+  mutable store_hits : int;
+      (** translations installed from the shared store after consumer
+          revalidation (no local compile needed) *)
+  mutable store_misses : int;
+      (** store lookups that found no entry for the current
+          (entry, source bytes, policy) key *)
+  mutable store_rejects : int;
+      (** store entries refused at consume time: codec corruption,
+          digest mismatch, region drift, or verifier failure *)
+  mutable store_quarantines : int;
+      (** keys this machine poisoned fleet-wide (first rejection of a
+          bad entry; later consumers skip it without revalidating) *)
+  mutable store_published : int;
+      (** freshly minted translations this machine published into the
+          shared store (post publisher-side verification) *)
 }
 
 let create () =
@@ -214,6 +230,11 @@ let create () =
     nic_rx_dropped = 0;
     nic_irqs = 0;
     nic_irq_coalesced = 0;
+    store_hits = 0;
+    store_misses = 0;
+    store_rejects = 0;
+    store_quarantines = 0;
+    store_published = 0;
   }
 
 let charge t m = t.charged_molecules <- t.charged_molecules + m
@@ -297,6 +318,16 @@ let pp_irq fmt t =
     t.irq_raised t.irq_delivered t.irq_deferred t.irq_rollbacks
     t.nic_rx_frames t.nic_tx_frames t.nic_rx_dropped t.nic_irqs
     t.nic_irq_coalesced
+
+(** Shared-store counters (fleet mode): how much of this machine's
+    translation work the fleet's warm store carried, and how much of
+    the store it refused to trust. *)
+let pp_fleet fmt t =
+  Fmt.pf fmt
+    "store[hits=%d misses=%d rejects=%d quarantines=%d published=%d] \
+     translations=%d"
+    t.store_hits t.store_misses t.store_rejects t.store_quarantines
+    t.store_published t.translations
 
 (** AOT counters: what the static pass shipped and how much of the run
     it actually carried (AOT hits vs dynamic retranslations). *)

@@ -153,6 +153,14 @@ let normalized_stats (s : Cms.Stats.t) =
     bg_unready = 0;
     bg_failed = 0;
     bg_overlap_insns = 0;
+    (* the shared store is a fleet-level accelerator: hit/miss patterns
+       depend on which machine published first (worker-domain and shard
+       scheduling), never on the architectural schedule *)
+    store_hits = 0;
+    store_misses = 0;
+    store_rejects = 0;
+    store_quarantines = 0;
+    store_published = 0;
   }
 
 (** The strict digest (see module doc). *)

@@ -40,8 +40,9 @@ exception Inconsistent of string
    version 4: Config grew background_translation/bg_queue_capacity,
    Stats the background-translation counters.
    version 5: NIC device section (NICC), the PIC's deferred-raise
-   counter in IRQC, Stats the interrupt-pressure counters. *)
-let version = 5
+   counter in IRQC, Stats the interrupt-pressure counters.
+   version 6: Stats grew the shared-translation-store (fleet) counters. *)
+let version = 6
 let kind = "SNAP"
 
 let consistent (c : Cms.t) =

@@ -217,7 +217,12 @@ let w_stats b (s : Cms.Stats.t) =
   Codec.w_int b s.nic_tx_frames;
   Codec.w_int b s.nic_rx_dropped;
   Codec.w_int b s.nic_irqs;
-  Codec.w_int b s.nic_irq_coalesced
+  Codec.w_int b s.nic_irq_coalesced;
+  Codec.w_int b s.store_hits;
+  Codec.w_int b s.store_misses;
+  Codec.w_int b s.store_rejects;
+  Codec.w_int b s.store_quarantines;
+  Codec.w_int b s.store_published
 
 let r_stats_into r (s : Cms.Stats.t) =
   let open Cms.Stats in
@@ -291,7 +296,12 @@ let r_stats_into r (s : Cms.Stats.t) =
   s.nic_tx_frames <- Codec.r_int r;
   s.nic_rx_dropped <- Codec.r_int r;
   s.nic_irqs <- Codec.r_int r;
-  s.nic_irq_coalesced <- Codec.r_int r
+  s.nic_irq_coalesced <- Codec.r_int r;
+  s.store_hits <- Codec.r_int r;
+  s.store_misses <- Codec.r_int r;
+  s.store_rejects <- Codec.r_int r;
+  s.store_quarantines <- Codec.r_int r;
+  s.store_published <- Codec.r_int r
 
 (* ------------------------------------------------------------------ *)
 (* Vliw.Perf                                                           *)

@@ -1,0 +1,235 @@
+(* Fleet mode: the shared warm translation store (atomic persistence,
+   truncated-image rejection, fleet-wide poison quarantine — exactly
+   once), the supervisor's restart/quarantine ladder, and a seeded
+   100-case slice of the fleet-chaos campaign with its record-replay
+   journal round trip and determinism fingerprint. *)
+
+module Fleet = Cms_fleet.Fleet
+module Share = Cms_fleet.Share
+module Tstore = Cms_persist.Tstore
+module Codec = Cms_persist.Codec
+module Fleetfault = Cms_robust.Fleetfault
+module Srng = Cms_robust.Srng
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+(* Unit-test supervision config: single shard, no solo mirror (specs
+   self-validate against their schedule-independent expected state). *)
+let fcfg = { Fleet.campaign_config with Fleet.mirror = false }
+
+(* A warmed store plus the traffic spec that warmed it. *)
+let warm_store seed =
+  let specs = Fleet.traffic_specs ~seed ~machines:2 in
+  let publisher, joiner =
+    match specs with [ a; b ] -> (a, b) | _ -> assert false
+  in
+  let store = Tstore.create () in
+  let r = Fleet.run_machine ~store fcfg publisher in
+  check cb "publisher healthy" true (r.Fleet.r_status = Fleet.Healthy);
+  check cb "publisher published" true (Tstore.size store > 0);
+  (store, joiner)
+
+(* ------------------------------------------------------------------ *)
+(* Store persistence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_save () =
+  let store, _ = warm_store 41 in
+  let path = Filename.temp_file "tstore" ".img" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Tstore.save path store;
+      check cb "image written" true (Sys.file_exists path);
+      check cb "no temp file left behind" false
+        (Sys.file_exists (path ^ ".tmp"));
+      let loaded = Tstore.load path in
+      check ci "entries round-trip" (Tstore.size store) (Tstore.size loaded))
+
+let test_truncated_image_rejected () =
+  let store, _ = warm_store 42 in
+  let image = Tstore.to_string store in
+  let n = String.length image in
+  (* every prefix is a torn image a killed publisher could have left
+     without the atomic rename; all of them must be rejected *)
+  List.iter
+    (fun cut ->
+      match Tstore.of_string (String.sub image 0 cut) with
+      | _ -> Alcotest.failf "truncated image (%d/%d bytes) accepted" cut n
+      | exception Codec.Corrupt _ -> ())
+    [ 1; n / 4; n / 2; n - 1 ];
+  (* and the untruncated image still loads *)
+  check ci "full image loads" (Tstore.size store)
+    (Tstore.size (Tstore.of_string image))
+
+(* ------------------------------------------------------------------ *)
+(* Poison quarantine: fleet-wide, exactly once                         *)
+(* ------------------------------------------------------------------ *)
+
+let store_stat (r : Fleet.report) f =
+  match r.Fleet.r_stats with Some s -> f s | None -> 0
+
+let test_poison_exactly_once () =
+  let store, joiner = warm_store 43 in
+  (* tamper *every* entry consistently (fresh MD5, matching source-page
+     digest): only the structural validator / mandatory verifier stand
+     between the poisoned molecules and the consumers.  Tampering all
+     of them makes the test independent of which keys a timer-driven
+     rerun happens to look up. *)
+  let keys =
+    Tstore.locked store (fun () ->
+        Hashtbl.fold (fun k _ acc -> k :: acc) store.Tstore.entries [])
+  in
+  check cb "store was warmed" true (keys <> []);
+  List.iter (fun k -> ignore (Fleetfault.tamper_code store k : bool)) keys;
+  check ci "nothing quarantined yet" 0 (Tstore.poisoned_count store);
+  (* consumer #1 hits tampered entries, rejects every one it sees, and
+     quarantines each key for the whole fleet — each exactly once —
+     then serves from its private translator and still validates *)
+  let r1 = Fleet.run_machine ~store fcfg joiner in
+  let rejects1 = store_stat r1 (fun s -> s.Cms.Stats.store_rejects) in
+  let quar1 = store_stat r1 (fun s -> s.Cms.Stats.store_quarantines) in
+  check cb "consumer 1 healthy" true (r1.Fleet.r_status = Fleet.Healthy);
+  check cb "consumer 1 validated" true (r1.Fleet.r_divergence = None);
+  check cb "consumer 1 rejected tampered entries" true (rejects1 > 0);
+  check ci "every reject quarantined its key exactly once" rejects1 quar1;
+  check ci "poison list matches" quar1 (Tstore.poisoned_count store);
+  (* consumer #2 sees already-poisoned keys as misses (no re-reject, no
+     re-quarantine — poisoning is per-key, exactly once, fleet-wide);
+     any key it *does* reject is one consumer #1 never consulted, and
+     that reject is again a first-time quarantine.  Either way it serves
+     those regions from its private translator and still validates. *)
+  let r2 = Fleet.run_machine ~store fcfg joiner in
+  let rejects2 = store_stat r2 (fun s -> s.Cms.Stats.store_rejects) in
+  let quar2 = store_stat r2 (fun s -> s.Cms.Stats.store_quarantines) in
+  check cb "consumer 2 healthy" true (r2.Fleet.r_status = Fleet.Healthy);
+  check cb "consumer 2 validated" true (r2.Fleet.r_divergence = None);
+  check ci "consumer 2's rejects are all first-time quarantines" rejects2
+    quar2;
+  check ci "poison list is the union, each key once" (quar1 + quar2)
+    (Tstore.poisoned_count store);
+  (* the law holds for every later consumer: rejects are always
+     first-time quarantines, and the poison list is their disjoint
+     union — no key is ever quarantined twice *)
+  let r3 = Fleet.run_machine ~store fcfg joiner in
+  let rejects3 = store_stat r3 (fun s -> s.Cms.Stats.store_rejects) in
+  let quar3 = store_stat r3 (fun s -> s.Cms.Stats.store_quarantines) in
+  check cb "consumer 3 healthy" true (r3.Fleet.r_status = Fleet.Healthy);
+  check ci "consumer 3's rejects are all first-time quarantines" rejects3
+    quar3;
+  check ci "poison list is still the disjoint union"
+    (quar1 + quar2 + quar3)
+    (Tstore.poisoned_count store)
+
+(* ------------------------------------------------------------------ *)
+(* Supervision: restart ladder and permanent quarantine                *)
+(* ------------------------------------------------------------------ *)
+
+let test_restart_from_snapshot () =
+  let store, joiner = warm_store 44 in
+  let spec =
+    { joiner with Fleet.s_faults = [ Fleetfault.Kill { at = 30_000 } ] }
+  in
+  let r = Fleet.run_machine ~store fcfg spec in
+  (match r.Fleet.r_status with
+  | Fleet.Restarted 1 -> ()
+  | s -> Alcotest.failf "expected one restart, got %s" (Fleet.status_name s));
+  check ci "one kill fired" 1 r.Fleet.r_kills;
+  check cb "backoff charged" true (r.Fleet.r_backoff > 0);
+  check cb "restarted machine validated" true (r.Fleet.r_divergence = None)
+
+let test_permanent_quarantine () =
+  let store, joiner = warm_store 45 in
+  let spec =
+    { joiner with Fleet.s_faults = [ Fleetfault.Permafault { at = 30_000 } ] }
+  in
+  let r = Fleet.run_machine ~store fcfg spec in
+  (match r.Fleet.r_status with
+  | Fleet.Quarantined _ -> ()
+  | s ->
+      Alcotest.failf "expected permanent quarantine, got %s"
+        (Fleet.status_name s));
+  check ci "climbed the whole ladder" fcfg.Fleet.max_restarts
+    r.Fleet.r_restarts;
+  check cb "backoff at the cap position" true
+    (r.Fleet.r_backoff >= fcfg.Fleet.backoff_base)
+
+(* A quarantined machine never takes the fleet down: the other
+   machines in the same (single-shard) fleet still run to health. *)
+let test_containment () =
+  let specs = Fleet.traffic_specs ~seed:46 ~machines:3 in
+  let specs =
+    List.mapi
+      (fun i s ->
+        if i = 1 then
+          { s with Fleet.s_faults = [ Fleetfault.Permafault { at = 10_000 } ] }
+        else s)
+      specs
+  in
+  let store = Tstore.create () in
+  let t = Fleet.run ~store { fcfg with Fleet.shards = 1 } specs in
+  check ci "one machine quarantined" 1 t.Fleet.t_quarantined;
+  check ci "the other two healthy" 2 t.Fleet.t_healthy;
+  check ci "no divergences" 0 t.Fleet.t_divergences;
+  check ci "no speculation violations" 0 t.Fleet.t_spec_violations
+
+(* ------------------------------------------------------------------ *)
+(* Seeded fleet-chaos campaign slice                                   *)
+(* ------------------------------------------------------------------ *)
+
+let slice_profile = { Fleetfault.default_profile with n_machines = 2 }
+
+let test_campaign_slice () =
+  let t =
+    Fleet.campaign ~profile:slice_profile ~fcfg ~seed:1 ~cases:100 ()
+  in
+  if t.Fleet.failed > 0 then
+    List.iter
+      (fun (i, e) -> Fmt.epr "case %d: %s@." i e)
+      (List.rev t.Fleet.failures);
+  check ci "all cases pass" 100 t.Fleet.passed;
+  check ci "no cross-machine divergences" 0 t.Fleet.divergences;
+  check ci "no speculation violations" 0 t.Fleet.spec_violations;
+  (* the slice must actually exercise the machinery it claims to *)
+  check cb "restarts exercised" true (t.Fleet.restarts > 0);
+  check cb "store sharing exercised" true (t.Fleet.store_hits > 0);
+  check cb "store attacks exercised" true (t.Fleet.attacks > 0)
+
+let test_campaign_deterministic () =
+  let run () =
+    Fleet.campaign ~profile:slice_profile ~fcfg ~seed:9 ~cases:15 ()
+  in
+  let a = run () and b = run () in
+  check Alcotest.string "campaign fingerprints match" (Fleet.fingerprint a)
+    (Fleet.fingerprint b);
+  check ci "same pass count" a.Fleet.passed b.Fleet.passed
+
+let suites =
+  [
+    ( "fleet.store",
+      [
+        Alcotest.test_case "atomic save (temp file + rename)" `Slow
+          test_atomic_save;
+        Alcotest.test_case "truncated image rejected" `Slow
+          test_truncated_image_rejected;
+        Alcotest.test_case "poison quarantined exactly once" `Slow
+          test_poison_exactly_once;
+      ] );
+    ( "fleet.supervisor",
+      [
+        Alcotest.test_case "restart from snapshot with backoff" `Slow
+          test_restart_from_snapshot;
+        Alcotest.test_case "permanent quarantine ladder" `Slow
+          test_permanent_quarantine;
+        Alcotest.test_case "fault containment across the fleet" `Slow
+          test_containment;
+      ] );
+    ( "fleet.campaign",
+      [
+        Alcotest.test_case "seeded 100-case slice" `Slow test_campaign_slice;
+        Alcotest.test_case "fingerprint determinism" `Slow
+          test_campaign_deterministic;
+      ] );
+  ]
